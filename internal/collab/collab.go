@@ -1,0 +1,163 @@
+// Package collab implements the collaborative detection scheme the
+// paper sketches as future work (§5, §7): because personalized
+// thresholds make different users sensitive to different attacks
+// ("one subset of users surface as sensitive to a particular kind of
+// attack... while another subset turns out to be useful for a
+// different attack"), users with high detection capability can inform
+// the rest when a fleet-wide event is underway.
+//
+// The scheme here is the simplest credible instantiation: the console
+// watches per-window alarm counts across the fleet; when the number
+// of hosts alarming on the same feature in the same window reaches a
+// quorum, a fleet-wide event is declared and every host is considered
+// alerted. Sentinels — the k lowest-threshold hosts for a feature
+// (Table 2's "best users") — can optionally carry extra weight.
+package collab
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the collaborative detector.
+type Config struct {
+	// Quorum is the number of simultaneously alarming hosts that
+	// declares a fleet-wide event. Must be >= 1.
+	Quorum int
+	// SentinelWeight is the vote weight of sentinel hosts (>= 1;
+	// default 1 treats everyone equally).
+	SentinelWeight int
+	// Sentinels lists the user indices acting as sentinels (the
+	// lowest-threshold "best users" for the feature under watch).
+	Sentinels []int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Quorum < 1 {
+		return c, fmt.Errorf("collab: quorum must be >= 1, got %d", c.Quorum)
+	}
+	if c.SentinelWeight == 0 {
+		c.SentinelWeight = 1
+	}
+	if c.SentinelWeight < 1 {
+		return c, fmt.Errorf("collab: sentinel weight must be >= 1, got %d", c.SentinelWeight)
+	}
+	return c, nil
+}
+
+// Detector evaluates fleet-wide events from per-host alarm series.
+type Detector struct {
+	cfg      Config
+	sentinel map[int]bool
+}
+
+// New creates a collaborative detector.
+func New(cfg Config) (*Detector, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{cfg: cfg, sentinel: make(map[int]bool, len(cfg.Sentinels))}
+	for _, u := range cfg.Sentinels {
+		d.sentinel[u] = true
+	}
+	return d, nil
+}
+
+// Feature is the feature type alias re-exported for callers.
+type Feature = features.Feature
+
+// Votes returns the per-window weighted alarm count across hosts.
+// alarms[u][b] reports whether host u alarmed in window b; all hosts
+// must have equal-length series.
+func (d *Detector) Votes(alarms [][]bool) ([]int, error) {
+	if len(alarms) == 0 {
+		return nil, fmt.Errorf("collab: no hosts")
+	}
+	bins := len(alarms[0])
+	votes := make([]int, bins)
+	for u, series := range alarms {
+		if len(series) != bins {
+			return nil, fmt.Errorf("collab: host %d has %d windows, want %d", u, len(series), bins)
+		}
+		w := 1
+		if d.sentinel[u] {
+			w = d.cfg.SentinelWeight
+		}
+		for b, alarm := range series {
+			if alarm {
+				votes[b] += w
+			}
+		}
+	}
+	return votes, nil
+}
+
+// Events returns the windows in which the fleet-wide quorum is met.
+func (d *Detector) Events(alarms [][]bool) ([]bool, error) {
+	votes, err := d.Votes(alarms)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]bool, len(votes))
+	for b, v := range votes {
+		events[b] = v >= d.cfg.Quorum
+	}
+	return events, nil
+}
+
+// Evaluate scores collaborative detection of a fleet-wide attack:
+// attacked[b] marks windows in which the attack was active on every
+// host. A fleet event on an attacked window is a true positive; on a
+// clean window, a false positive. The returned confusion is
+// fleet-level (one decision per window, not per host).
+func (d *Detector) Evaluate(alarms [][]bool, attacked []bool) (stats.Confusion, error) {
+	events, err := d.Events(alarms)
+	if err != nil {
+		return stats.Confusion{}, err
+	}
+	if len(attacked) != len(events) {
+		return stats.Confusion{}, fmt.Errorf("collab: attacked series %d windows, want %d", len(attacked), len(events))
+	}
+	var c stats.Confusion
+	for b, ev := range events {
+		switch {
+		case attacked[b] && ev:
+			c.TP++
+		case attacked[b] && !ev:
+			c.FN++
+		case !attacked[b] && ev:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// AlarmSeries converts per-host feature series plus thresholds into
+// the boolean alarm matrix Votes consumes. overlay may be nil (no
+// attack).
+func AlarmSeries(test [][]float64, overlay []float64, thresholds []float64) ([][]bool, error) {
+	if len(test) != len(thresholds) {
+		return nil, fmt.Errorf("collab: %d hosts but %d thresholds", len(test), len(thresholds))
+	}
+	out := make([][]bool, len(test))
+	for u := range test {
+		if overlay != nil && len(overlay) != len(test[u]) {
+			return nil, fmt.Errorf("collab: host %d series %d windows, overlay %d", u, len(test[u]), len(overlay))
+		}
+		row := make([]bool, len(test[u]))
+		for b, g := range test[u] {
+			v := g
+			if overlay != nil {
+				v += overlay[b]
+			}
+			row[b] = v > thresholds[u]
+		}
+		out[u] = row
+	}
+	return out, nil
+}

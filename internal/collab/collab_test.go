@@ -1,0 +1,214 @@
+package collab
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Quorum: 0}); err == nil {
+		t.Fatal("quorum 0 accepted")
+	}
+	if _, err := New(Config{Quorum: 1, SentinelWeight: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if d, err := New(Config{Quorum: 2}); err != nil || d == nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestVotesAndEvents(t *testing.T) {
+	d, err := New(Config{Quorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := [][]bool{
+		{true, false, true, false},
+		{true, false, false, false},
+		{false, false, true, false},
+	}
+	votes, err := d.Votes(alarms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVotes := []int{2, 0, 2, 0}
+	for b := range wantVotes {
+		if votes[b] != wantVotes[b] {
+			t.Fatalf("votes = %v, want %v", votes, wantVotes)
+		}
+	}
+	events, err := d.Events(alarms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := []bool{true, false, true, false}
+	for b := range wantEvents {
+		if events[b] != wantEvents[b] {
+			t.Fatalf("events = %v, want %v", events, wantEvents)
+		}
+	}
+}
+
+func TestSentinelWeight(t *testing.T) {
+	d, err := New(Config{Quorum: 3, SentinelWeight: 3, Sentinels: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the sentinel alarms: its weight alone meets the quorum.
+	alarms := [][]bool{
+		{false},
+		{true},
+		{false},
+	}
+	events, err := d.Events(alarms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !events[0] {
+		t.Fatal("sentinel vote did not trigger event")
+	}
+}
+
+func TestVotesErrors(t *testing.T) {
+	d, _ := New(Config{Quorum: 1})
+	if _, err := d.Votes(nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := d.Votes([][]bool{{true}, {true, false}}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	d, _ := New(Config{Quorum: 1})
+	alarms := [][]bool{{true, false, true, false}}
+	attacked := []bool{true, true, false, false}
+	c, err := d.Evaluate(alarms, attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stats.Confusion{TP: 1, FN: 1, FP: 1, TN: 1}
+	if c != want {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if _, err := d.Evaluate(alarms, []bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAlarmSeries(t *testing.T) {
+	test := [][]float64{{1, 5, 2}, {10, 1, 1}}
+	overlay := []float64{0, 0, 4}
+	thr := []float64{3, 5}
+	alarms, err := AlarmSeries(test, overlay, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]bool{{false, true, true}, {true, false, false}}
+	for u := range want {
+		for b := range want[u] {
+			if alarms[u][b] != want[u][b] {
+				t.Fatalf("alarms = %v, want %v", alarms, want)
+			}
+		}
+	}
+	if _, err := AlarmSeries(test, overlay, []float64{1}); err == nil {
+		t.Fatal("threshold count mismatch accepted")
+	}
+	if _, err := AlarmSeries(test, []float64{1}, thr); err == nil {
+		t.Fatal("overlay length mismatch accepted")
+	}
+}
+
+// TestCollaborationCompensatesForPoorDetectors reproduces the paper's
+// §6.2 observation on generated data: under full diversity some users
+// have poor individual detection of the Storm bot, but "those users
+// with high detection rates can inform other users when malicious
+// events occur" — the fleet-level detection rate beats the median
+// individual rate, while fleet-level false positives stay controlled.
+func TestCollaborationCompensatesForPoorDetectors(t *testing.T) {
+	pop := trace.MustPopulation(trace.Config{Users: 40, Weeks: 2, Seed: 71})
+	f := features.Distinct
+	var train, test [][]float64
+	for _, u := range pop.Users {
+		m := u.Series()
+		lo0, hi0 := m.WeekRange(0)
+		lo1, hi1 := m.WeekRange(1)
+		train = append(train, m.ColumnSlice(f, lo0, hi0))
+		test = append(test, m.ColumnSlice(f, lo1, hi1))
+	}
+	dists := make([]*stats.Empirical, len(train))
+	for u := range dists {
+		var err error
+		if dists[u], err = stats.NewEmpirical(train[u]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asn, err := core.Configure(dists, core.Policy{
+		Heuristic: core.Percentile{Q: 0.99}, Grouping: core.FullDiversity{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot, err := attack.NewStorm(attack.StormConfig{Bins: len(test[0]), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay := bot.Overlay().Overlay
+
+	// Individual detection rates.
+	var detRates []float64
+	for u := range test {
+		conf, err := core.Evaluate(test[u], overlay, asn.Thresholds[u])
+		if err != nil {
+			t.Fatal(err)
+		}
+		detRates = append(detRates, conf.Recall())
+	}
+	medianDet := stats.MustEmpirical(detRates).MustQuantile(0.5)
+
+	// Collaborative fleet detection with a small quorum and the
+	// Table-2 sentinels carrying double weight.
+	alarms, err := AlarmSeries(test, overlay, asn.Thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked := make([]bool, len(overlay))
+	for b, v := range overlay {
+		attacked[b] = v > 0
+	}
+	d, err := New(Config{Quorum: 5, SentinelWeight: 2, Sentinels: asn.BestUsers(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := d.Evaluate(alarms, attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetDet := conf.Recall()
+	if fleetDet <= medianDet {
+		t.Fatalf("fleet detection %.2f not above median individual %.2f", fleetDet, medianDet)
+	}
+	// Fleet-level false positives on clean windows must stay rare.
+	cleanAlarms, err := AlarmSeries(test, nil, asn.Thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanEvents, err := d.Events(cleanAlarms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := 0
+	for _, ev := range cleanEvents {
+		if ev {
+			fp++
+		}
+	}
+	if frac := float64(fp) / float64(len(cleanEvents)); frac > 0.05 {
+		t.Fatalf("fleet false-event rate %.3f too high", frac)
+	}
+}

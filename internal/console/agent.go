@@ -1,0 +1,290 @@
+package console
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+)
+
+// Agent is the end-host side of the management plane: the behavioral
+// HIDS process running on one laptop. It uploads the host's training
+// distributions, receives the policy's thresholds, evaluates feature
+// windows locally and batches alerts back to the console.
+type Agent struct {
+	hostID uint32
+	conn   net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu         sync.Mutex
+	thresholds *Thresholds
+	lastErr    error
+	closed     bool
+
+	thrCh  chan Thresholds
+	ackCh  chan Ack
+	doneCh chan struct{}
+
+	// pending alerts not yet flushed
+	pending []Alert
+}
+
+// ErrAgentClosed is returned for operations on a closed agent.
+var ErrAgentClosed = errors.New("console: agent closed")
+
+// Dial connects an agent to the console at addr over TCP and
+// completes the hello handshake.
+func Dial(addr string, hostID uint32, hostname string) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("console: dialing %s: %w", addr, err)
+	}
+	return NewAgent(conn, hostID, hostname)
+}
+
+// NewAgent runs the agent protocol over an existing connection (the
+// tests use net.Pipe).
+func NewAgent(conn net.Conn, hostID uint32, hostname string) (*Agent, error) {
+	a := &Agent{
+		hostID: hostID,
+		conn:   conn,
+		thrCh:  make(chan Thresholds, 1),
+		ackCh:  make(chan Ack, 16),
+		doneCh: make(chan struct{}),
+	}
+	go a.readLoop()
+	if err := a.write(MsgHello, Hello{HostID: hostID, Hostname: hostname}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if _, err := a.waitAck(10 * time.Second); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("console: hello not acknowledged: %w", err)
+	}
+	return a, nil
+}
+
+func (a *Agent) write(t MsgType, payload any) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return WriteMsg(a.conn, t, payload)
+}
+
+// readLoop dispatches inbound messages until the connection dies.
+func (a *Agent) readLoop() {
+	defer close(a.doneCh)
+	for {
+		t, body, err := ReadMsg(a.conn)
+		if err != nil {
+			a.mu.Lock()
+			if a.lastErr == nil && !a.closed {
+				a.lastErr = err
+			}
+			a.mu.Unlock()
+			return
+		}
+		switch t {
+		case MsgAck:
+			var ack Ack
+			if decode(t, body, &ack) == nil {
+				select {
+				case a.ackCh <- ack:
+				default: // slow consumer; acks are advisory
+				}
+			}
+		case MsgThresholds:
+			var thr Thresholds
+			if decode(t, body, &thr) == nil {
+				a.mu.Lock()
+				a.thresholds = &thr
+				a.mu.Unlock()
+				select {
+				case a.thrCh <- thr:
+				default:
+				}
+			}
+		case MsgError:
+			var pe ProtoError
+			_ = decode(t, body, &pe)
+			a.mu.Lock()
+			if a.lastErr == nil {
+				a.lastErr = fmt.Errorf("console: server error: %s", pe.Message)
+			}
+			a.mu.Unlock()
+			return
+		default:
+			a.mu.Lock()
+			if a.lastErr == nil {
+				a.lastErr = fmt.Errorf("console: unexpected server message %s", t)
+			}
+			a.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (a *Agent) waitAck(timeout time.Duration) (Ack, error) {
+	select {
+	case ack := <-a.ackCh:
+		return ack, nil
+	case <-a.doneCh:
+		return Ack{}, a.err()
+	case <-time.After(timeout):
+		return Ack{}, errors.New("console: timeout waiting for ack")
+	}
+}
+
+func (a *Agent) err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lastErr != nil {
+		return a.lastErr
+	}
+	return errors.New("console: connection closed")
+}
+
+// UploadDistribution ships one feature's training samples.
+func (a *Agent) UploadDistribution(f features.Feature, samples []float64) error {
+	if !f.Valid() {
+		return fmt.Errorf("console: invalid feature %d", int(f))
+	}
+	if err := a.write(MsgDistUpload, DistUpload{
+		HostID: a.hostID, Feature: int(f), Samples: samples,
+	}); err != nil {
+		return err
+	}
+	_, err := a.waitAck(10 * time.Second)
+	return err
+}
+
+// UploadMatrix ships all six features' training windows [lo, hi).
+func (a *Agent) UploadMatrix(m *features.Matrix, lo, hi int) error {
+	for _, f := range features.All() {
+		if err := a.UploadDistribution(f, m.ColumnSlice(f, lo, hi)); err != nil {
+			return fmt.Errorf("console: uploading %s: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// WaitThresholds blocks until the console pushes thresholds (or the
+// timeout expires).
+func (a *Agent) WaitThresholds(timeout time.Duration) (Thresholds, error) {
+	return a.WaitThresholdsEpoch(0, timeout)
+}
+
+// WaitThresholdsEpoch blocks until thresholds of at least the given
+// configuration epoch arrive — used after re-uploading a fresh
+// training week to wait for the re-learned configuration.
+func (a *Agent) WaitThresholdsEpoch(epoch int, timeout time.Duration) (Thresholds, error) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		a.mu.Lock()
+		if a.thresholds != nil && a.thresholds.Epoch >= epoch {
+			thr := *a.thresholds
+			a.mu.Unlock()
+			return thr, nil
+		}
+		a.mu.Unlock()
+		select {
+		case thr := <-a.thrCh:
+			if thr.Epoch >= epoch {
+				return thr, nil
+			}
+		case <-a.doneCh:
+			return Thresholds{}, a.err()
+		case <-deadline.C:
+			return Thresholds{}, errors.New("console: timeout waiting for thresholds")
+		}
+	}
+}
+
+// Detectors builds the per-feature detectors from the pushed
+// thresholds. It returns an error when no thresholds have arrived.
+func (a *Agent) Detectors() ([features.NumFeatures]core.Detector, error) {
+	var out [features.NumFeatures]core.Detector
+	a.mu.Lock()
+	thr := a.thresholds
+	a.mu.Unlock()
+	if thr == nil {
+		return out, errors.New("console: no thresholds received")
+	}
+	for _, f := range features.All() {
+		out[f] = core.Detector{Feature: f, Threshold: thr.Values[f]}
+	}
+	return out, nil
+}
+
+// ObserveWindow evaluates one window's feature counts against the
+// current thresholds, queueing alerts for any exceedance. bin is the
+// window index reported to the console.
+func (a *Agent) ObserveWindow(bin int, counts features.Counts) error {
+	dets, err := a.Detectors()
+	if err != nil {
+		return err
+	}
+	vec := counts.AsVector()
+	a.mu.Lock()
+	for _, f := range features.All() {
+		if dets[f].Alarm(vec[f]) {
+			a.pending = append(a.pending, Alert{
+				Feature:   int(f),
+				Bin:       bin,
+				Value:     vec[f],
+				Threshold: dets[f].Threshold,
+			})
+		}
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// PendingAlerts returns the number of queued, unflushed alerts.
+func (a *Agent) PendingAlerts() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
+// Flush sends queued alerts as one batch and waits for the ack. A
+// flush with no pending alerts is a no-op.
+func (a *Agent) Flush() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrAgentClosed
+	}
+	batch := a.pending
+	a.pending = nil
+	a.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := a.write(MsgAlertBatch, AlertBatch{HostID: a.hostID, Alerts: batch}); err != nil {
+		return err
+	}
+	_, err := a.waitAck(10 * time.Second)
+	return err
+}
+
+// Close flushes pending alerts on a best-effort basis and closes the
+// connection.
+func (a *Agent) Close() error {
+	_ = a.Flush()
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	err := a.conn.Close()
+	<-a.doneCh
+	return err
+}

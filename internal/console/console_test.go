@@ -1,0 +1,481 @@
+package console
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/trace"
+)
+
+func TestWriteReadMsgRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := DistUpload{HostID: 9, Feature: int(features.UDP), Samples: []float64{1, 2, 3.5}}
+	if err := WriteMsg(&buf, MsgDistUpload, in); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgDistUpload {
+		t.Fatalf("type = %v", typ)
+	}
+	var out DistUpload
+	if err := decode(typ, body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.HostID != 9 || out.Feature != int(features.UDP) || len(out.Samples) != 3 {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestReadMsgRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	if _, _, err := ReadMsg(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadMsgTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteMsg(&buf, MsgAck, Ack{})
+	b := buf.Bytes()[:buf.Len()-1]
+	if _, _, err := ReadMsg(bytes.NewReader(b)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for _, typ := range []MsgType{MsgHello, MsgDistUpload, MsgThresholds, MsgAlertBatch, MsgAck, MsgError} {
+		if strings.HasPrefix(typ.String(), "msgtype(") {
+			t.Errorf("type %d unnamed", typ)
+		}
+	}
+	if MsgType(99).String() != "msgtype(99)" {
+		t.Error("unknown type name")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := NewServer(ServerConfig{ExpectedHosts: 1}); err == nil {
+		t.Fatal("missing policy accepted")
+	}
+}
+
+// startServer launches a console on loopback and returns it with its
+// address.
+func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func policy99(g core.Grouping) core.Policy {
+	return core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: g}
+}
+
+// TestEndToEndFleet runs a small fleet of agents against a live
+// console over loopback TCP: upload training week, receive
+// thresholds, monitor the test week, batch alerts.
+func TestEndToEndFleet(t *testing.T) {
+	const users = 8
+	pop := trace.MustPopulation(trace.Config{Users: users, Weeks: 2, Seed: 51})
+	srv, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.FullDiversity{}),
+		ExpectedHosts: users,
+	})
+
+	var wg sync.WaitGroup
+	alerts := make([]int, users)
+	errs := make([]error, users)
+	for i, u := range pop.Users {
+		wg.Add(1)
+		go func(i int, u *trace.User) {
+			defer wg.Done()
+			errs[i] = func() error {
+				agent, err := Dial(addr, uint32(u.ID), fmt.Sprintf("host-%d", u.ID))
+				if err != nil {
+					return err
+				}
+				defer agent.Close()
+				m := u.Series()
+				lo0, hi0 := m.WeekRange(0)
+				if err := agent.UploadMatrix(m, lo0, hi0); err != nil {
+					return err
+				}
+				thr, err := agent.WaitThresholds(20 * time.Second)
+				if err != nil {
+					return err
+				}
+				for _, f := range features.All() {
+					if thr.Values[f] <= 0 {
+						return fmt.Errorf("feature %s threshold %g", f, thr.Values[f])
+					}
+				}
+				// Monitor week 2 and batch alerts every simulated day.
+				lo1, hi1 := m.WeekRange(1)
+				for b := lo1; b < hi1; b++ {
+					c := features.Counts{
+						DNS:      int(m.Rows[b][features.DNS]),
+						TCP:      int(m.Rows[b][features.TCP]),
+						TCPSYN:   int(m.Rows[b][features.TCPSYN]),
+						HTTP:     int(m.Rows[b][features.HTTP]),
+						Distinct: int(m.Rows[b][features.Distinct]),
+						UDP:      int(m.Rows[b][features.UDP]),
+					}
+					if err := agent.ObserveWindow(b, c); err != nil {
+						return err
+					}
+					if (b-lo1+1)%96 == 0 {
+						alerts[i] += agent.PendingAlerts()
+						if err := agent.Flush(); err != nil {
+							return err
+						}
+					}
+				}
+				alerts[i] += agent.PendingAlerts()
+				return agent.Flush()
+			}()
+		}(i, u)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	if !srv.Configured() {
+		t.Fatal("server never configured")
+	}
+	total := 0
+	for i, u := range pop.Users {
+		got := srv.AlertCount(uint32(u.ID))
+		if got != alerts[i] {
+			t.Errorf("host %d: console saw %d alerts, agent sent %d", u.ID, got, alerts[i])
+		}
+		total += got
+	}
+	if srv.TotalAlerts() != total {
+		t.Errorf("TotalAlerts %d != sum %d", srv.TotalAlerts(), total)
+	}
+	if len(srv.Hosts()) != users {
+		t.Errorf("Hosts = %v", srv.Hosts())
+	}
+	// Full diversity: the server-side assignment must give every user
+	// their own group.
+	asn := srv.Assignment(features.TCP)
+	if asn == nil || len(asn.Groups) != users {
+		t.Fatalf("assignment groups: %+v", asn)
+	}
+}
+
+// TestHomogeneousPushesOneThreshold checks the monoculture path: all
+// agents receive the same value.
+func TestHomogeneousPushesOneThreshold(t *testing.T) {
+	const users = 4
+	pop := trace.MustPopulation(trace.Config{Users: users, Weeks: 1, Seed: 53})
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: users,
+	})
+	agents := make([]*Agent, users)
+	for i, u := range pop.Users {
+		a, err := Dial(addr, uint32(u.ID), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		agents[i] = a
+		m := u.Series()
+		if err := a.UploadMatrix(m, 0, m.Bins()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var thr0 Thresholds
+	for i, a := range agents {
+		thr, err := a.WaitThresholds(20 * time.Second)
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+		if i == 0 {
+			thr0 = thr
+		} else if thr.Values != thr0.Values {
+			t.Fatalf("homogeneous thresholds differ: %v vs %v", thr.Values, thr0.Values)
+		}
+	}
+}
+
+func TestLateConnectorGetsThresholds(t *testing.T) {
+	pop := trace.MustPopulation(trace.Config{Users: 3, Weeks: 1, Seed: 57})
+	srv, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.PartialDiversity{NumGroups: 2}),
+		ExpectedHosts: 2,
+	})
+	// First two hosts upload; configuration happens once both are in.
+	var agents []*Agent
+	for _, u := range pop.Users[:2] {
+		a, err := Dial(addr, uint32(u.ID), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		agents = append(agents, a)
+		m := u.Series()
+		if err := a.UploadMatrix(m, 0, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, a := range agents {
+		if _, err := a.WaitThresholds(20 * time.Second); err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	// Free host 0's connection so the reconnect below is accepted.
+	_ = agents[0].Close()
+	if !srv.Configured() {
+		t.Fatal("not configured")
+	}
+	// A reconnecting host (same ID as host 0) receives the stored
+	// thresholds without uploading anything.
+	late, err := Dial(addr, uint32(pop.Users[0].ID), "reconnect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if _, err := late.WaitThresholds(20 * time.Second); err != nil {
+		t.Fatalf("late connector: %v", err)
+	}
+}
+
+func TestDuplicateHostRejected(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: 2,
+	})
+	a, err := Dial(addr, 7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := Dial(addr, 7, ""); err == nil {
+		t.Fatal("duplicate host id accepted")
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: 2,
+	})
+	a, err := Dial(addr, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.UploadDistribution(features.Feature(42), []float64{1}); err == nil {
+		t.Fatal("invalid feature accepted client-side")
+	}
+	// Empty sample set is rejected by the server.
+	if err := a.UploadDistribution(features.TCP, nil); err == nil {
+		t.Fatal("empty distribution accepted")
+	}
+}
+
+func TestAgentObserveBeforeThresholds(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: 2,
+	})
+	a, err := Dial(addr, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.ObserveWindow(0, features.Counts{TCP: 5}); err == nil {
+		t.Fatal("ObserveWindow before thresholds accepted")
+	}
+}
+
+func TestAgentOverPipe(t *testing.T) {
+	// The agent protocol works over any net.Conn; exercise net.Pipe
+	// with a scripted server.
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- func() error {
+			typ, body, err := ReadMsg(server)
+			if err != nil {
+				return err
+			}
+			var h Hello
+			if typ != MsgHello || decode(typ, body, &h) != nil || h.HostID != 42 {
+				return fmt.Errorf("bad hello: %v %s", typ, body)
+			}
+			if err := WriteMsg(server, MsgAck, Ack{}); err != nil {
+				return err
+			}
+			var thr Thresholds
+			for f := range thr.Values {
+				thr.Values[f] = 10
+			}
+			return WriteMsg(server, MsgThresholds, thr)
+		}()
+	}()
+	a, err := NewAgent(client, 42, "pipe-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	thr, err := a.WaitThresholds(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr.Values[features.TCP] != 10 {
+		t.Fatalf("thresholds = %v", thr.Values)
+	}
+	// Alarm path without any server interaction (queue only).
+	if err := a.ObserveWindow(1, features.Counts{TCP: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingAlerts() != 1 {
+		t.Fatalf("pending = %d", a.PendingAlerts())
+	}
+	_ = client.Close()
+	_ = server.Close()
+}
+
+func TestServerRejectsGarbageFirstMessage(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: 1,
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteMsg(conn, MsgAlertBatch, AlertBatch{HostID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError {
+		t.Fatalf("server replied %v, want error", typ)
+	}
+}
+
+func TestAgentFlushEmpty(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: 2,
+	})
+	a, err := Dial(addr, 11, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Flush(); err != nil {
+		t.Fatalf("empty flush: %v", err)
+	}
+}
+
+func TestAgentCloseIdempotent(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: 2,
+	})
+	a, err := Dial(addr, 12, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestWeeklyRelearning exercises the paper's §6.1 methodology over
+// the management plane: thresholds are re-learned when agents upload
+// a fresh training week, and the new epoch's thresholds differ.
+func TestWeeklyRelearning(t *testing.T) {
+	const users = 3
+	pop := trace.MustPopulation(trace.Config{Users: users, Weeks: 2, Seed: 61})
+	srv, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.FullDiversity{}),
+		ExpectedHosts: users,
+	})
+	agents := make([]*Agent, users)
+	for i, u := range pop.Users {
+		a, err := Dial(addr, uint32(u.ID), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		agents[i] = a
+		m := u.Series()
+		lo, hi := m.WeekRange(0)
+		if err := a.UploadMatrix(m, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	thr0 := make([]Thresholds, users)
+	for i, a := range agents {
+		thr, err := a.WaitThresholdsEpoch(0, 20*time.Second)
+		if err != nil {
+			t.Fatalf("epoch 0 agent %d: %v", i, err)
+		}
+		if thr.Epoch != 0 {
+			t.Fatalf("epoch = %d, want 0", thr.Epoch)
+		}
+		thr0[i] = thr
+	}
+	// Week rolls over: re-upload with week 2 as training data.
+	for i, u := range pop.Users {
+		m := u.Series()
+		lo, hi := m.WeekRange(1)
+		if err := agents[i].UploadMatrix(m, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, a := range agents {
+		thr, err := a.WaitThresholdsEpoch(1, 20*time.Second)
+		if err != nil {
+			t.Fatalf("epoch 1 agent %d: %v", i, err)
+		}
+		if thr.Epoch != 1 {
+			t.Fatalf("epoch = %d, want 1", thr.Epoch)
+		}
+		if thr.Values == thr0[i].Values {
+			t.Errorf("agent %d: thresholds identical across weeks (drift expected)", i)
+		}
+	}
+	if srv.Epoch() != 1 {
+		t.Fatalf("server epoch = %d", srv.Epoch())
+	}
+}

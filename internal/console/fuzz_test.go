@@ -1,0 +1,96 @@
+package console
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// TestReadMsgSurvivesGarbage hammers the frame reader with random
+// bytes: it must return errors, never panic, and never allocate an
+// unbounded buffer.
+func TestReadMsgSurvivesGarbage(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		// Clamp the length prefix occasionally so the body read path
+		// is exercised too.
+		if n >= 5 && rng.Intn(2) == 0 {
+			buf[0] = byte(rng.Intn(16))
+			buf[1], buf[2], buf[3] = 0, 0, 0
+		}
+		_, _, _ = ReadMsg(bytes.NewReader(buf))
+	}
+}
+
+// TestServerSurvivesGarbageConnections connects raw sockets that
+// write random bytes and vanish; the server must keep serving
+// legitimate agents afterwards.
+func TestServerSurvivesGarbageConnections(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: 2,
+	})
+	rng := xrand.New(11)
+	for trial := 0; trial < 20; trial++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(200)
+		junk := make([]byte, n)
+		for i := range junk {
+			junk[i] = byte(rng.Intn(256))
+		}
+		_, _ = conn.Write(junk)
+		_ = conn.Close()
+	}
+	// A legitimate agent still gets through.
+	a, err := Dial(addr, 42, "survivor")
+	if err != nil {
+		t.Fatalf("legitimate agent rejected after garbage: %v", err)
+	}
+	defer a.Close()
+	if err := a.UploadDistribution(0, []float64{1, 2, 3}); err != nil {
+		t.Fatalf("upload after garbage: %v", err)
+	}
+}
+
+// TestServerSurvivesSlowHello verifies a stalled half-open connection
+// does not wedge the accept loop.
+func TestServerSurvivesSlowHello(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Policy:        policy99(core.Homogeneous{}),
+		ExpectedHosts: 2,
+	})
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close() // never sends a byte
+
+	done := make(chan error, 1)
+	go func() {
+		a, err := Dial(addr, 7, "prompt")
+		if err == nil {
+			_ = a.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("prompt agent failed behind a stalled peer: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("accept loop wedged by a stalled connection")
+	}
+}

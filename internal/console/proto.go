@@ -1,0 +1,186 @@
+// Package console implements the enterprise HIDS management plane the
+// paper assumes (§1, §4): end hosts "are typically configured to
+// interact with centralized IT management", ship their traffic
+// probability distributions to a central console, receive thresholds
+// computed by the enterprise policy, and "batch alerts that are sent
+// periodically to IT".
+//
+// The package provides the wire protocol, the central console server
+// (Server) and the end-host agent (Agent). Transport is any
+// net.Conn; production use is TCP, tests also drive net.Pipe.
+//
+// # Wire format
+//
+// Every message is a frame:
+//
+//	uint32 little-endian payload length
+//	uint8  message type
+//	JSON payload
+//
+// JSON keeps the protocol debuggable (this is a management plane, not
+// a data plane; the per-message rate is tiny). The length prefix is
+// capped to protect both sides from corrupt or hostile peers.
+package console
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/features"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgHello is the agent's first message: host identity.
+	MsgHello MsgType = iota + 1
+	// MsgDistUpload carries one feature's training distribution from
+	// an agent to the console.
+	MsgDistUpload
+	// MsgThresholds carries the console's per-feature thresholds to
+	// one agent.
+	MsgThresholds
+	// MsgAlertBatch carries a batch of alerts from an agent.
+	MsgAlertBatch
+	// MsgAck acknowledges a message that needs acknowledgment.
+	MsgAck
+	// MsgError reports a protocol-level failure.
+	MsgError
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgDistUpload:
+		return "dist-upload"
+	case MsgThresholds:
+		return "thresholds"
+	case MsgAlertBatch:
+		return "alert-batch"
+	case MsgAck:
+		return "ack"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// MaxFrame is the largest accepted payload. A full week of 5-minute
+// bins is ~2016 float64 samples ≈ 40 KiB of JSON; 8 MiB leaves two
+// orders of magnitude of headroom.
+const MaxFrame = 8 << 20
+
+// Hello is the agent's introduction.
+type Hello struct {
+	// HostID is the end-host identifier (stable across reconnects).
+	HostID uint32 `json:"host_id"`
+	// Hostname is informational.
+	Hostname string `json:"hostname,omitempty"`
+}
+
+// DistUpload is one feature's training distribution. Samples are the
+// raw per-window feature values; the console builds the empirical
+// distribution (and, for homogeneous/partial policies, merges them
+// across hosts — "all the individual distributions are collapsed
+// into a single global distribution", §4).
+type DistUpload struct {
+	HostID  uint32    `json:"host_id"`
+	Feature int       `json:"feature"`
+	Samples []float64 `json:"samples"`
+}
+
+// Thresholds is the console's configuration push: one threshold per
+// feature, indexed by canonical feature order.
+type Thresholds struct {
+	// Values[f] is the alarm threshold for feature f; NaN is not
+	// allowed (absent features use +Inf encoded as the string "inf"
+	// by the JSON layer — we simply always send all six).
+	Values [features.NumFeatures]float64 `json:"values"`
+	// Policy names the policy that produced the thresholds.
+	Policy string `json:"policy"`
+	// Group is the configuration group this host landed in.
+	Group int `json:"group"`
+	// Epoch counts configuration rounds; the paper re-learns
+	// thresholds weekly (§6.1), so a long-lived deployment sees
+	// epoch 0, 1, 2, ... as training windows roll forward.
+	Epoch int `json:"epoch"`
+}
+
+// Alert is one threshold exceedance on one host.
+type Alert struct {
+	Feature   int     `json:"feature"`
+	Bin       int     `json:"bin"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+// AlertBatch is the periodic alert report (§3: "alerts are generated
+// and periodically sent to a central console").
+type AlertBatch struct {
+	HostID uint32  `json:"host_id"`
+	Alerts []Alert `json:"alerts"`
+}
+
+// Ack acknowledges receipt; Seq echoes the sender's sequence number
+// when one was supplied.
+type Ack struct {
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// ProtoError is a protocol-level error report.
+type ProtoError struct {
+	Message string `json:"message"`
+}
+
+// WriteMsg frames and writes one message.
+func WriteMsg(w io.Writer, t MsgType, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("console: marshaling %s: %w", t, err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("console: %s payload %d exceeds MaxFrame", t, len(body))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("console: writing %s header: %w", t, err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("console: writing %s body: %w", t, err)
+	}
+	return nil
+}
+
+// ReadMsg reads one frame and returns its type and raw payload.
+func ReadMsg(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // io.EOF propagates cleanly for shutdown
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("console: frame of %d bytes exceeds MaxFrame", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("console: reading %d-byte body: %w", n, err)
+	}
+	return MsgType(hdr[4]), body, nil
+}
+
+// decode unmarshals a payload into v with a console-flavored error.
+func decode(t MsgType, body []byte, v any) error {
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("console: decoding %s: %w", t, err)
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package console
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+)
+
+// ServerConfig parameterizes the central console.
+type ServerConfig struct {
+	// Policy is the enterprise configuration policy applied to every
+	// feature.
+	Policy core.Policy
+	// ExpectedHosts is the number of hosts that must upload all six
+	// training distributions before thresholds are computed and
+	// pushed. Must be positive.
+	ExpectedHosts int
+	// AttackMagnitudes feed objective-optimizing heuristics; may be
+	// nil for percentile-style heuristics.
+	AttackMagnitudes []float64
+	// Logf, if set, receives operational log lines (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Server is the central IT operation console: it collects training
+// distributions, computes the policy's thresholds, pushes them to
+// agents and tallies incoming alerts.
+type Server struct {
+	cfg ServerConfig
+
+	mu          sync.Mutex
+	configuring bool
+	epoch       int
+	conns       map[uint32]*serverConn
+	dists       map[uint32]*[features.NumFeatures][]float64
+	complete    map[uint32]bool
+	pushed      bool
+	alertTally  map[uint32]int
+	alertLog    []AlertBatch
+	assignment  map[features.Feature]*core.Assignment
+	hostOrder   []uint32
+
+	wg       sync.WaitGroup
+	closing  bool
+	listener net.Listener
+}
+
+type serverConn struct {
+	hostID uint32
+	conn   net.Conn
+	wmu    sync.Mutex
+}
+
+func (c *serverConn) send(t MsgType, payload any) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteMsg(c.conn, t, payload)
+}
+
+// NewServer creates a console server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.ExpectedHosts <= 0 {
+		return nil, fmt.Errorf("console: ExpectedHosts must be positive, got %d", cfg.ExpectedHosts)
+	}
+	if cfg.Policy.Heuristic == nil || cfg.Policy.Grouping == nil {
+		return nil, fmt.Errorf("console: ServerConfig.Policy incomplete")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:        cfg,
+		conns:      make(map[uint32]*serverConn),
+		dists:      make(map[uint32]*[features.NumFeatures][]float64),
+		complete:   make(map[uint32]bool),
+		alertTally: make(map[uint32]int),
+	}, nil
+}
+
+// Serve accepts agent connections on ln until Close is called. It
+// returns after the listener fails or closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return fmt.Errorf("console: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(conn); err != nil && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("console: connection from %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// handle runs one agent connection to completion.
+func (s *Server) handle(conn net.Conn) error {
+	defer conn.Close()
+
+	t, body, err := ReadMsg(conn)
+	if err != nil {
+		return err
+	}
+	if t != MsgHello {
+		_ = WriteMsg(conn, MsgError, ProtoError{Message: "expected hello"})
+		return fmt.Errorf("first message was %s", t)
+	}
+	var hello Hello
+	if err := decode(t, body, &hello); err != nil {
+		return err
+	}
+	sc := &serverConn{hostID: hello.HostID, conn: conn}
+	s.mu.Lock()
+	if _, dup := s.conns[hello.HostID]; dup {
+		s.mu.Unlock()
+		_ = WriteMsg(conn, MsgError, ProtoError{Message: "duplicate host id"})
+		return fmt.Errorf("duplicate host %d", hello.HostID)
+	}
+	s.conns[hello.HostID] = sc
+	if _, ok := s.dists[hello.HostID]; !ok {
+		s.dists[hello.HostID] = &[features.NumFeatures][]float64{}
+		s.hostOrder = append(s.hostOrder, hello.HostID)
+	}
+	alreadyPushed := s.pushed
+	s.mu.Unlock()
+	if err := sc.send(MsgAck, Ack{}); err != nil {
+		return err
+	}
+	s.cfg.Logf("console: host %d connected from %v", hello.HostID, conn.RemoteAddr())
+	if alreadyPushed {
+		// Late (re)connector: push the existing thresholds.
+		if err := s.pushTo(sc); err != nil {
+			return err
+		}
+	}
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, hello.HostID)
+		s.mu.Unlock()
+	}()
+
+	for {
+		t, body, err := ReadMsg(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch t {
+		case MsgDistUpload:
+			var up DistUpload
+			if err := decode(t, body, &up); err != nil {
+				return err
+			}
+			if err := s.acceptUpload(sc, up); err != nil {
+				_ = sc.send(MsgError, ProtoError{Message: err.Error()})
+				return err
+			}
+			if err := sc.send(MsgAck, Ack{}); err != nil {
+				return err
+			}
+			s.maybeConfigure()
+		case MsgAlertBatch:
+			var ab AlertBatch
+			if err := decode(t, body, &ab); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.alertTally[ab.HostID] += len(ab.Alerts)
+			s.alertLog = append(s.alertLog, ab)
+			s.mu.Unlock()
+			if err := sc.send(MsgAck, Ack{}); err != nil {
+				return err
+			}
+		default:
+			_ = sc.send(MsgError, ProtoError{Message: "unexpected " + t.String()})
+			return fmt.Errorf("unexpected message %s from host %d", t, hello.HostID)
+		}
+	}
+}
+
+func (s *Server) acceptUpload(sc *serverConn, up DistUpload) error {
+	if up.HostID != sc.hostID {
+		return fmt.Errorf("upload host %d on connection of host %d", up.HostID, sc.hostID)
+	}
+	f := features.Feature(up.Feature)
+	if !f.Valid() {
+		return fmt.Errorf("invalid feature %d", up.Feature)
+	}
+	if len(up.Samples) == 0 {
+		return fmt.Errorf("empty distribution for %s", f)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pushed {
+		// A new round of uploads opens the next configuration epoch:
+		// the paper re-learns thresholds every week from the fresh
+		// training window (§6.1).
+		s.pushed = false
+		s.epoch++
+		for id := range s.dists {
+			s.dists[id] = &[features.NumFeatures][]float64{}
+		}
+		for id := range s.complete {
+			s.complete[id] = false
+		}
+		s.cfg.Logf("console: epoch %d opened by host %d", s.epoch, sc.hostID)
+	}
+	s.dists[sc.hostID][f] = up.Samples
+	all := true
+	for _, samples := range s.dists[sc.hostID] {
+		if len(samples) == 0 {
+			all = false
+			break
+		}
+	}
+	s.complete[sc.hostID] = all
+	return nil
+}
+
+// maybeConfigure computes and pushes thresholds once every expected
+// host has uploaded all features.
+func (s *Server) maybeConfigure() {
+	s.mu.Lock()
+	if s.pushed || s.configuring || len(s.complete) < s.cfg.ExpectedHosts {
+		s.mu.Unlock()
+		return
+	}
+	n := 0
+	for _, done := range s.complete {
+		if done {
+			n++
+		}
+	}
+	if n < s.cfg.ExpectedHosts {
+		s.mu.Unlock()
+		return
+	}
+	s.configuring = true
+	hostOrder := append([]uint32(nil), s.hostOrder...)
+	dists := make(map[uint32]*[features.NumFeatures][]float64, len(s.dists))
+	for id, d := range s.dists {
+		dists[id] = d
+	}
+	s.mu.Unlock()
+
+	assignment := make(map[features.Feature]*core.Assignment, features.NumFeatures)
+	for _, f := range features.All() {
+		train := make([]*stats.Empirical, len(hostOrder))
+		ok := true
+		for i, id := range hostOrder {
+			e, err := stats.NewEmpirical(dists[id][f])
+			if err != nil {
+				s.cfg.Logf("console: host %d feature %s: %v", id, f, err)
+				ok = false
+				break
+			}
+			train[i] = e
+		}
+		if !ok {
+			s.abortConfigure()
+			return
+		}
+		asn, err := core.Configure(train, s.cfg.Policy, s.cfg.AttackMagnitudes)
+		if err != nil {
+			s.cfg.Logf("console: configuring %s: %v", f, err)
+			s.abortConfigure()
+			return
+		}
+		assignment[f] = asn
+	}
+
+	s.mu.Lock()
+	s.assignment = assignment
+	s.pushed = true
+	s.configuring = false
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("console: policy %s configured for %d hosts; pushing thresholds",
+		s.cfg.Policy.Name(), len(hostOrder))
+	for _, sc := range conns {
+		if err := s.pushTo(sc); err != nil {
+			s.cfg.Logf("console: pushing to host %d: %v", sc.hostID, err)
+		}
+	}
+}
+
+// abortConfigure releases the single-flight configuration guard
+// after a failed attempt so a later upload can retry.
+func (s *Server) abortConfigure() {
+	s.mu.Lock()
+	s.configuring = false
+	s.mu.Unlock()
+}
+
+// pushTo sends the computed thresholds to one agent.
+func (s *Server) pushTo(sc *serverConn) error {
+	s.mu.Lock()
+	asn := s.assignment
+	idx := -1
+	for i, id := range s.hostOrder {
+		if id == sc.hostID {
+			idx = i
+			break
+		}
+	}
+	s.mu.Unlock()
+	if asn == nil || idx < 0 || idx >= len(asn[features.TCP].Thresholds) {
+		return fmt.Errorf("no assignment for host %d", sc.hostID)
+	}
+	var msg Thresholds
+	msg.Policy = s.cfg.Policy.Name()
+	s.mu.Lock()
+	msg.Epoch = s.epoch
+	s.mu.Unlock()
+	for _, f := range features.All() {
+		msg.Values[f] = asn[f].Thresholds[idx]
+	}
+	msg.Group = asn[features.TCP].GroupOf(idx)
+	return sc.send(MsgThresholds, msg)
+}
+
+// Assignment returns the computed assignment for one feature (nil
+// before configuration happens).
+func (s *Server) Assignment(f features.Feature) *core.Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.assignment == nil {
+		return nil
+	}
+	return s.assignment[f]
+}
+
+// Epoch returns the current configuration epoch (0-based).
+func (s *Server) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Configured reports whether thresholds have been computed.
+func (s *Server) Configured() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushed
+}
+
+// AlertCount returns the number of alerts received from one host.
+func (s *Server) AlertCount(hostID uint32) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alertTally[hostID]
+}
+
+// TotalAlerts returns the number of alerts received from all hosts —
+// the quantity Table 3 reports per week.
+func (s *Server) TotalAlerts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.alertTally {
+		n += c
+	}
+	return n
+}
+
+// Hosts returns the host IDs that have connected, in first-seen
+// order.
+func (s *Server) Hosts() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint32(nil), s.hostOrder...)
+}
+
+// Close shuts the listener and waits for connection handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	ln := s.listener
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, sc := range conns {
+		_ = sc.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// EvalInput bundles everything needed to score one policy on one
+// feature, following the paper's methodology (§6.1): thresholds are
+// learned on a training week and applied to the following test week.
+type EvalInput struct {
+	// Train holds each user's training-week feature series.
+	Train [][]float64
+	// Test holds each user's test-week feature series (same user
+	// order as Train).
+	Test [][]float64
+	// Attack optionally holds each user's additive attack overlay,
+	// aligned with Test; Attack == nil or Attack[i] == nil means no
+	// attack on that user. Windows with a positive overlay are the
+	// positives for FN accounting.
+	Attack [][]float64
+	// AttackMagnitudes supplies representative per-window attack
+	// sizes to objective-optimizing heuristics (UtilityOptimal,
+	// FMeasureOptimal). May be nil for Percentile / MeanSigma.
+	AttackMagnitudes []float64
+	// Policy is the configuration policy under evaluation.
+	Policy Policy
+}
+
+// EvalResult is the outcome of one policy evaluation.
+type EvalResult struct {
+	// Assignment records the thresholds and groups the policy chose.
+	Assignment *Assignment
+	// Points holds one operating point per user.
+	Points []OperatingPoint
+}
+
+// EvaluatePolicy learns thresholds on Train with the policy and
+// scores them on Test (+Attack).
+func EvaluatePolicy(in EvalInput) (*EvalResult, error) {
+	n := len(in.Train)
+	if n == 0 || len(in.Test) != n {
+		return nil, fmt.Errorf("core: train/test population mismatch: %d vs %d", n, len(in.Test))
+	}
+	if in.Attack != nil && len(in.Attack) != n {
+		return nil, fmt.Errorf("core: attack population %d != %d", len(in.Attack), n)
+	}
+	dists := make([]*stats.Empirical, n)
+	for i, tr := range in.Train {
+		d, err := stats.NewEmpirical(tr)
+		if err != nil {
+			return nil, fmt.Errorf("core: user %d training series: %w", i, err)
+		}
+		dists[i] = d
+	}
+	asn, err := Configure(dists, in.Policy, in.AttackMagnitudes)
+	if err != nil {
+		return nil, err
+	}
+	res := &EvalResult{Assignment: asn, Points: make([]OperatingPoint, n)}
+	for i := range in.Test {
+		var attack []float64
+		if in.Attack != nil {
+			attack = in.Attack[i]
+		}
+		conf, err := Evaluate(in.Test[i], attack, asn.Thresholds[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: user %d: %w", i, err)
+		}
+		res.Points[i] = OperatingPoint{
+			User:      i,
+			Threshold: asn.Thresholds[i],
+			FP:        conf.FalsePositiveRate(),
+			FN:        conf.FalseNegativeRate(),
+			Confusion: conf,
+		}
+	}
+	return res, nil
+}
+
+// Utilities returns every user's utility for weight w.
+func (r *EvalResult) Utilities(w float64) []float64 {
+	out := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = p.Utility(w)
+	}
+	return out
+}
+
+// MeanUtility returns the system-wide utility: the average per-host
+// utility across the population (§6.1 "system wide utility metric").
+func (r *EvalResult) MeanUtility(w float64) float64 {
+	return stats.Mean(r.Utilities(w))
+}
+
+// UtilityBoxplot summarizes the distribution of per-host utilities,
+// the rendering of Fig 3(a).
+func (r *EvalResult) UtilityBoxplot(w float64) (stats.Boxplot, error) {
+	return stats.NewBoxplot(r.Utilities(w))
+}
+
+// TotalFalseAlarms sums false-positive windows across the population
+// — the number of benign alerts arriving at the central IT console
+// over the test period (Table 3).
+func (r *EvalResult) TotalFalseAlarms() int {
+	n := 0
+	for _, p := range r.Points {
+		n += p.Confusion.FP
+	}
+	return n
+}
+
+// FractionAlarming returns the fraction of users whose test period
+// raised at least one true-positive alarm — the y-axis of Fig 4(a)
+// ("the fraction of users that would have raised an alert" for a
+// given attack).
+func (r *EvalResult) FractionAlarming() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range r.Points {
+		if p.Confusion.TP > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Points))
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Heuristic selects an alarm threshold from a training distribution.
+// The attack argument supplies representative additive attack
+// magnitudes for heuristics that optimize a detection objective
+// (utility, F-measure); percentile- and moment-based heuristics
+// ignore it. Implementations must be deterministic.
+type Heuristic interface {
+	// Name identifies the heuristic in reports and wire messages.
+	Name() string
+	// Threshold computes the alarm threshold for a (user or group)
+	// training distribution.
+	Threshold(train *stats.Empirical, attack []float64) (float64, error)
+}
+
+// Percentile is the paper's default heuristic: threshold at the q-th
+// quantile of the training distribution, giving explicit control of
+// the false-positive rate ("a common choice by IT operators today is
+// to roughly target the 99th percentile value").
+type Percentile struct {
+	// Q is the quantile in [0, 1], e.g. 0.99.
+	Q float64
+}
+
+// Name implements Heuristic.
+func (p Percentile) Name() string { return fmt.Sprintf("percentile(%g)", p.Q*100) }
+
+// Threshold implements Heuristic.
+func (p Percentile) Threshold(train *stats.Empirical, _ []float64) (float64, error) {
+	return train.Quantile(p.Q)
+}
+
+// MeanSigma sets the threshold at mean + K standard deviations, the
+// "outliers are the mean plus a few standard deviations" heuristic
+// the paper lists in §4.
+type MeanSigma struct {
+	// K is the number of standard deviations above the mean.
+	K float64
+}
+
+// Name implements Heuristic.
+func (m MeanSigma) Name() string { return fmt.Sprintf("mean+%gσ", m.K) }
+
+// Threshold implements Heuristic.
+func (m MeanSigma) Threshold(train *stats.Empirical, _ []float64) (float64, error) {
+	if train == nil || train.N() == 0 {
+		return 0, stats.ErrNoSamples
+	}
+	return train.Mean() + m.K*train.StdDev(), nil
+}
+
+// UtilityOptimal picks the threshold maximizing the paper's utility
+//
+//	U(T) = 1 − [w·FN(T) + (1−w)·FP(T)]
+//
+// where FP(T) = P(g > T) on the training distribution and FN(T) is
+// the average over the supplied attack magnitudes b of P(g + b ≤ T).
+// This is the "picking a threshold to optimize a utility function"
+// heuristic of §4 and the one used for Fig 3(a) with w = 0.4.
+type UtilityOptimal struct {
+	// W is the false-negative weight in [0, 1].
+	W float64
+}
+
+// Name implements Heuristic.
+func (u UtilityOptimal) Name() string { return fmt.Sprintf("utility(w=%g)", u.W) }
+
+// Threshold implements Heuristic.
+func (u UtilityOptimal) Threshold(train *stats.Empirical, attack []float64) (float64, error) {
+	if u.W < 0 || u.W > 1 {
+		return 0, fmt.Errorf("core: utility weight %g outside [0, 1]", u.W)
+	}
+	return optimizeOverCandidates(train, attack, func(fp, fn float64) float64 {
+		return stats.Utility(fn, fp, u.W)
+	})
+}
+
+// FMeasureOptimal picks the threshold maximizing the F1 measure (the
+// harmonic mean of precision and recall, §4 footnote 1), assuming
+// attacked and benign windows are equally likely a priori.
+type FMeasureOptimal struct{}
+
+// Name implements Heuristic.
+func (FMeasureOptimal) Name() string { return "f-measure" }
+
+// Threshold implements Heuristic.
+func (FMeasureOptimal) Threshold(train *stats.Empirical, attack []float64) (float64, error) {
+	return optimizeOverCandidates(train, attack, func(fp, fn float64) float64 {
+		recall := 1 - fn
+		// Equal priors: P(attack) = P(benign) = 0.5, so precision =
+		// recall / (recall + fp).
+		if recall+fp == 0 {
+			return 0
+		}
+		precision := recall / (recall + fp)
+		return stats.HarmonicMean(precision, recall)
+	})
+}
+
+// optimizeOverCandidates scans candidate thresholds — every training
+// sample and every sample shifted by each attack magnitude — and
+// returns the one maximizing score(fp, fn). Ties prefer the smallest
+// threshold (more sensitive detector).
+func optimizeOverCandidates(train *stats.Empirical, attack []float64, score func(fp, fn float64) float64) (float64, error) {
+	if train == nil || train.N() == 0 {
+		return 0, stats.ErrNoSamples
+	}
+	if len(attack) == 0 {
+		return 0, fmt.Errorf("core: objective-optimizing heuristic requires attack magnitudes")
+	}
+	samples := train.Samples()
+	candSet := make(map[float64]struct{}, len(samples)*2)
+	for _, s := range samples {
+		candSet[s] = struct{}{}
+	}
+	// Attack-shifted quantile points matter when attacks are larger
+	// than the benign range; add a coarse set to keep this O(n).
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		base := train.MustQuantile(q)
+		for _, b := range attack {
+			candSet[base+b] = struct{}{}
+		}
+	}
+	cands := make([]float64, 0, len(candSet))
+	for c := range candSet {
+		cands = append(cands, c)
+	}
+	sort.Float64s(cands)
+
+	bestT, bestScore := cands[0], -1.0
+	for _, t := range cands {
+		fp := train.TailProb(t)
+		var fn float64
+		for _, b := range attack {
+			fn += train.CDF(t - b) // P(g + b <= t) = P(g <= t - b)
+		}
+		fn /= float64(len(attack))
+		if s := score(fp, fn); s > bestScore+1e-15 {
+			bestT, bestScore = t, s
+		}
+	}
+	return bestT, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func trainDist(seed uint64, n int) *stats.Empirical {
+	r := xrand.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.LogNormal(3, 1)
+	}
+	return stats.MustEmpirical(v)
+}
+
+func TestPercentileHeuristic(t *testing.T) {
+	tr := trainDist(1, 5000)
+	h := Percentile{Q: 0.99}
+	thr, err := h.Threshold(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.MustQuantile(0.99); thr != got {
+		t.Fatalf("threshold %g != q99 %g", thr, got)
+	}
+	// By construction the training FP rate is ~1%.
+	if fp := tr.TailProb(thr); fp > 0.0102 {
+		t.Fatalf("training FP = %g", fp)
+	}
+	if h.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestPercentileBadQ(t *testing.T) {
+	tr := trainDist(2, 100)
+	if _, err := (Percentile{Q: 1.5}).Threshold(tr, nil); err == nil {
+		t.Fatal("q > 1 accepted")
+	}
+}
+
+func TestMeanSigmaHeuristic(t *testing.T) {
+	tr := stats.MustEmpirical([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	h := MeanSigma{K: 3}
+	thr, err := h.Threshold(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 + 3*math.Sqrt(32.0/7.0)
+	if math.Abs(thr-want) > 1e-12 {
+		t.Fatalf("threshold = %g, want %g", thr, want)
+	}
+	if _, err := h.Threshold(nil, nil); err == nil {
+		t.Fatal("nil training accepted")
+	}
+}
+
+func TestUtilityOptimalBalancesErrors(t *testing.T) {
+	tr := trainDist(3, 4000)
+	attack := []float64{50, 100, 200}
+	// With w = 0 only false positives matter: the optimal threshold
+	// should have ~zero FP (at or above the max sample).
+	thrFPOnly, err := (UtilityOptimal{W: 0}).Threshold(tr, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := tr.TailProb(thrFPOnly); fp > 0.001 {
+		t.Fatalf("w=0 threshold has FP %g", fp)
+	}
+	// With w = 1 only detection matters: threshold collapses low.
+	thrFNOnly, err := (UtilityOptimal{W: 1}).Threshold(tr, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thrFNOnly >= thrFPOnly {
+		t.Fatalf("w=1 threshold %g not below w=0 threshold %g", thrFNOnly, thrFPOnly)
+	}
+	// Intermediate w sits in between (weakly).
+	thrMid, err := (UtilityOptimal{W: 0.4}).Threshold(tr, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thrMid < thrFNOnly-1e-9 || thrMid > thrFPOnly+1e-9 {
+		t.Fatalf("w=0.4 threshold %g outside [%g, %g]", thrMid, thrFNOnly, thrFPOnly)
+	}
+}
+
+func TestUtilityOptimalAchievesBestScore(t *testing.T) {
+	// Exhaustively verify optimality over a fine threshold grid.
+	tr := trainDist(5, 800)
+	attack := []float64{30, 80}
+	w := 0.4
+	thr, err := (UtilityOptimal{W: w}).Threshold(tr, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(T float64) float64 {
+		fp := tr.TailProb(T)
+		fn := (tr.CDF(T-30) + tr.CDF(T-80)) / 2
+		return stats.Utility(fn, fp, w)
+	}
+	best := score(thr)
+	for T := 0.0; T < tr.Max()+100; T += 0.5 {
+		if s := score(T); s > best+1e-9 {
+			t.Fatalf("grid threshold %g scores %g > chosen %g scoring %g", T, s, thr, best)
+		}
+	}
+}
+
+func TestUtilityOptimalErrors(t *testing.T) {
+	tr := trainDist(6, 100)
+	if _, err := (UtilityOptimal{W: 2}).Threshold(tr, []float64{10}); err == nil {
+		t.Fatal("w > 1 accepted")
+	}
+	if _, err := (UtilityOptimal{W: 0.4}).Threshold(tr, nil); err == nil {
+		t.Fatal("nil attack accepted")
+	}
+	if _, err := (UtilityOptimal{W: 0.4}).Threshold(nil, []float64{10}); err == nil {
+		t.Fatal("nil training accepted")
+	}
+}
+
+func TestFMeasureOptimal(t *testing.T) {
+	tr := trainDist(7, 2000)
+	thr, err := (FMeasureOptimal{}).Threshold(tr, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F-measure of the chosen threshold must beat a clearly bad one.
+	f1 := func(T float64) float64 {
+		fp := tr.TailProb(T)
+		recall := 1 - tr.CDF(T-100)
+		if recall+fp == 0 {
+			return 0
+		}
+		p := recall / (recall + fp)
+		return stats.HarmonicMean(p, recall)
+	}
+	if f1(thr) < f1(tr.Max()*10) {
+		t.Fatalf("chosen threshold %g has F1 %g below trivial threshold", thr, f1(thr))
+	}
+	if f1(thr) < f1(0) {
+		t.Fatalf("chosen threshold %g has F1 %g below zero threshold", thr, f1(thr))
+	}
+	if (FMeasureOptimal{}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestHeuristicsDeterministic(t *testing.T) {
+	tr := trainDist(8, 1000)
+	attack := []float64{10, 40}
+	for _, h := range []Heuristic{
+		Percentile{Q: 0.99},
+		MeanSigma{K: 3},
+		UtilityOptimal{W: 0.4},
+		FMeasureOptimal{},
+	} {
+		a, err := h.Threshold(tr, attack)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		b, err := h.Threshold(tr, attack)
+		if err != nil || a != b {
+			t.Fatalf("%s not deterministic: %g vs %g (%v)", h.Name(), a, b, err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package features
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFeatureNamesRoundTrip(t *testing.T) {
+	for _, f := range All() {
+		got, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Fatalf("Parse(%q) = %v, want %v", f.String(), got, f)
+		}
+	}
+	if _, err := Parse("num-bogus"); err == nil {
+		t.Fatal("bogus name parsed")
+	}
+}
+
+func TestFeatureValidAndString(t *testing.T) {
+	if Feature(-1).Valid() || Feature(6).Valid() {
+		t.Fatal("out-of-range feature claimed valid")
+	}
+	if Feature(99).String() != "feature(99)" {
+		t.Fatalf("invalid String = %q", Feature(99).String())
+	}
+	if len(All()) != NumFeatures {
+		t.Fatalf("All() has %d features", len(All()))
+	}
+	for _, f := range All() {
+		if f.Anomaly() == "unknown" {
+			t.Errorf("feature %v has no anomaly class", f)
+		}
+	}
+}
+
+func TestCountsVectorAndGet(t *testing.T) {
+	c := Counts{DNS: 1, TCP: 2, TCPSYN: 3, HTTP: 4, Distinct: 5, UDP: 6}
+	v := c.AsVector()
+	for i, f := range All() {
+		if v[i] != float64(c.Get(f)) {
+			t.Fatalf("vector[%d]=%g != Get(%v)=%d", i, v[i], f, c.Get(f))
+		}
+	}
+}
+
+func TestCountsGetPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(invalid) did not panic")
+		}
+	}()
+	Counts{}.Get(Feature(42))
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{DNS: 1, TCP: 2, TCPSYN: 2, HTTP: 1, Distinct: 2, UDP: 3}
+	b := Counts{TCP: 10, TCPSYN: 12, Distinct: 5}
+	got := a.Add(b)
+	want := Counts{DNS: 1, TCP: 12, TCPSYN: 14, HTTP: 1, Distinct: 7, UDP: 3}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func testMatrix() *Matrix {
+	m := NewMatrix(15*time.Minute, 0, 2*672) // two weeks of 15-min bins
+	for b := range m.Rows {
+		m.Rows[b] = Counts{TCP: b % 7, UDP: b % 3, DNS: 1}.AsVector()
+	}
+	return m
+}
+
+func TestMatrixGeometry(t *testing.T) {
+	m := testMatrix()
+	if m.Bins() != 1344 {
+		t.Fatalf("Bins = %d", m.Bins())
+	}
+	if m.BinsPerWeek() != 672 {
+		t.Fatalf("BinsPerWeek = %d", m.BinsPerWeek())
+	}
+	if m.Weeks() != 2 {
+		t.Fatalf("Weeks = %d", m.Weeks())
+	}
+	lo, hi := m.WeekRange(1)
+	if lo != 672 || hi != 1344 {
+		t.Fatalf("WeekRange(1) = [%d, %d)", lo, hi)
+	}
+}
+
+func TestMatrixWeekRangePanics(t *testing.T) {
+	m := testMatrix()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WeekRange(2) did not panic on 2-week matrix")
+		}
+	}()
+	m.WeekRange(2)
+}
+
+func TestMatrixColumn(t *testing.T) {
+	m := testMatrix()
+	col := m.Column(TCP)
+	if len(col) != m.Bins() {
+		t.Fatalf("column length %d", len(col))
+	}
+	for b, v := range col {
+		if v != float64(b%7) {
+			t.Fatalf("col[%d] = %g", b, v)
+		}
+	}
+	// Column is a copy.
+	col[0] = 999
+	if m.Rows[0][TCP] == 999 {
+		t.Fatal("Column aliases matrix storage")
+	}
+}
+
+func TestMatrixColumnSlice(t *testing.T) {
+	m := testMatrix()
+	s := m.ColumnSlice(UDP, 10, 20)
+	if len(s) != 10 {
+		t.Fatalf("slice length %d", len(s))
+	}
+	for i, v := range s {
+		if v != float64((10+i)%3) {
+			t.Fatalf("slice[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestMatrixColumnPanics(t *testing.T) {
+	m := testMatrix()
+	for name, fn := range map[string]func(){
+		"invalid feature": func() { m.Column(Feature(9)) },
+		"bad range":       func() { m.ColumnSlice(TCP, 5, 2) },
+		"out of bounds":   func() { m.ColumnSlice(TCP, 0, m.Bins()+1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixDistribution(t *testing.T) {
+	m := testMatrix()
+	d, err := m.Distribution(DNS, 0, m.Bins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != m.Bins() || d.Min() != 1 || d.Max() != 1 {
+		t.Fatalf("distribution: n=%d min=%g max=%g", d.N(), d.Min(), d.Max())
+	}
+}
+
+func TestMatrixFromCounts(t *testing.T) {
+	m := FromCounts(5*time.Minute, 100, 10, func(bin int) Counts {
+		return Counts{TCP: bin}
+	})
+	if m.Bins() != 10 || m.BinWidth != 5*time.Minute || m.StartMicros != 100 {
+		t.Fatalf("geometry: %+v", m)
+	}
+	if m.Rows[7][TCP] != 7 {
+		t.Fatalf("row 7 = %v", m.Rows[7])
+	}
+}
+
+func TestMatrixAddRowAndClone(t *testing.T) {
+	m := NewMatrix(15*time.Minute, 0, 3)
+	cp := m.Clone()
+	m.AddRow(1, Counts{TCP: 5, Distinct: 2})
+	if m.Rows[1][TCP] != 5 || m.Rows[1][Distinct] != 2 {
+		t.Fatalf("AddRow result: %v", m.Rows[1])
+	}
+	if cp.Rows[1][TCP] != 0 {
+		t.Fatal("Clone shares storage with original")
+	}
+	m.AddRow(1, Counts{TCP: 3})
+	if m.Rows[1][TCP] != 8 {
+		t.Fatal("AddRow does not accumulate")
+	}
+}

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestTraceReaderSurvivesCorruption feeds randomly corrupted .etr
+// streams to the reader: whatever the bytes, the reader must return
+// records or errors, never panic, and never read past the input.
+func TestTraceReaderSurvivesCorruption(t *testing.T) {
+	// Start from a valid trace and flip random bytes.
+	var valid bytes.Buffer
+	tw, _ := NewTraceWriter(&valid, 7)
+	for i := 0; i < 50; i++ {
+		r := sampleRecord()
+		r.Time += int64(i) * 1000
+		_ = tw.Write(r)
+	}
+	_ = tw.Flush()
+	base := valid.Bytes()
+
+	rng := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		data := append([]byte(nil), base...)
+		// Corrupt 1-8 random bytes, possibly in the header.
+		for k := 0; k <= rng.Intn(8); k++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		// Possibly truncate.
+		if rng.Intn(2) == 0 {
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			continue // rejected header: fine
+		}
+		var rec Record
+		for n := 0; n < 1000; n++ {
+			if err := tr.Next(&rec); err != nil {
+				break // EOF or corruption error: fine
+			}
+		}
+	}
+}
+
+// TestPcapReaderSurvivesCorruption does the same for the pcap reader.
+func TestPcapReaderSurvivesCorruption(t *testing.T) {
+	var valid bytes.Buffer
+	pw, _ := NewPcapWriter(&valid, 0)
+	for i := 0; i < 20; i++ {
+		_ = pw.Write(sampleRecord())
+	}
+	_ = pw.Flush()
+	base := valid.Bytes()
+
+	rng := xrand.New(101)
+	for trial := 0; trial < 200; trial++ {
+		data := append([]byte(nil), base...)
+		for k := 0; k <= rng.Intn(8); k++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		if rng.Intn(2) == 0 {
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		pr, err := NewPcapReader(bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		for n := 0; n < 1000; n++ {
+			pkt, err := pr.Next()
+			if err != nil {
+				break
+			}
+			// Decoding arbitrary bytes must not panic either.
+			_, _ = DecodeIPv4(pkt.Data)
+		}
+	}
+}
+
+// TestDecodeIPv4ArbitraryBytes hammers the decoder with random
+// buffers of every small length.
+func TestDecodeIPv4ArbitraryBytes(t *testing.T) {
+	rng := xrand.New(103)
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		_, _ = DecodeIPv4(buf) // must not panic
+	}
+}
+
+// TestTraceReaderStopsAtEOFExactly verifies the reader consumes
+// exactly the bytes it needs and leaves any trailing garbage alone.
+func TestTraceReaderStopsAtEOFExactly(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewTraceWriter(&buf, 1)
+	_ = tw.Write(sampleRecord())
+	_ = tw.Flush()
+	r := bytes.NewReader(buf.Bytes())
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := tr.Next(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Next(&rec); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package stats implements the statistical machinery the reproduction
+// needs: empirical distributions with quantile/tail queries, streaming
+// moments, histograms, boxplot summaries, precision/recall/F-measure,
+// correlation and k-means clustering.
+//
+// The paper's entire methodology is built on empirical per-user feature
+// distributions P(g_i^j): thresholds are percentiles of those
+// distributions, false-positive rates are upper-tail probabilities, and
+// the resourceful attacker inverts them. Empirical is therefore the
+// central type of this package.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoSamples is returned by constructors and queries that require at
+// least one sample.
+var ErrNoSamples = errors.New("stats: empirical distribution has no samples")
+
+// Empirical is an immutable empirical distribution over float64
+// samples. Construct with NewEmpirical; all queries are O(log n) or
+// O(1). The zero value is empty and returns ErrNoSamples from
+// fallible queries.
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical builds an empirical distribution from the given
+// samples. The input slice is copied and may be reused by the caller.
+// NaN samples are rejected.
+func NewEmpirical(samples []float64) (*Empirical, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	cp := make([]float64, len(samples))
+	for i, s := range samples {
+		if math.IsNaN(s) {
+			return nil, fmt.Errorf("stats: sample %d is NaN", i)
+		}
+		cp[i] = s
+	}
+	sort.Float64s(cp)
+	return &Empirical{sorted: cp}, nil
+}
+
+// MustEmpirical is NewEmpirical that panics on error; intended for
+// tests and generators that control their inputs.
+func MustEmpirical(samples []float64) *Empirical {
+	e, err := NewEmpirical(samples)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// N returns the number of samples.
+func (e *Empirical) N() int { return len(e.sorted) }
+
+// Min returns the smallest sample, or 0 for an empty distribution.
+func (e *Empirical) Min() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return e.sorted[0]
+}
+
+// Max returns the largest sample, or 0 for an empty distribution.
+func (e *Empirical) Max() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return e.sorted[len(e.sorted)-1]
+}
+
+// Mean returns the sample mean, or 0 for an empty distribution.
+func (e *Empirical) Mean() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range e.sorted {
+		sum += v
+	}
+	return sum / float64(len(e.sorted))
+}
+
+// StdDev returns the sample standard deviation (denominator n-1), or
+// 0 when fewer than two samples exist.
+func (e *Empirical) StdDev() float64 {
+	n := len(e.sorted)
+	if n < 2 {
+		return 0
+	}
+	mean := e.Mean()
+	var ss float64
+	for _, v := range e.sorted {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear
+// interpolation between order statistics (Hyndman-Fan type 7, the
+// default of R, NumPy and Excel). Quantile(0.99) is the paper's "99th
+// percentile" threshold heuristic.
+func (e *Empirical) Quantile(q float64) (float64, error) {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0, ErrNoSamples
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %g outside [0, 1]", q)
+	}
+	if n == 1 {
+		return e.sorted[0], nil
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	if lo >= n-1 {
+		return e.sorted[n-1], nil
+	}
+	frac := h - float64(lo)
+	return e.sorted[lo] + frac*(e.sorted[lo+1]-e.sorted[lo]), nil
+}
+
+// MustQuantile is Quantile that panics on error.
+func (e *Empirical) MustQuantile(q float64) float64 {
+	v, err := e.Quantile(q)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Percentile is shorthand for Quantile(p/100).
+func (e *Empirical) Percentile(p float64) (float64, error) {
+	return e.Quantile(p / 100)
+}
+
+// CDF returns the empirical P(X <= x): the fraction of samples that
+// are <= x. Returns 0 for an empty distribution.
+func (e *Empirical) CDF(x float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	// index of first sample > x
+	idx := sort.Search(n, func(i int) bool { return e.sorted[i] > x })
+	return float64(idx) / float64(n)
+}
+
+// TailProb returns the empirical P(X > x), the probability mass
+// strictly above x. This is exactly the false-positive rate of a
+// threshold detector with threshold x evaluated on these samples.
+func (e *Empirical) TailProb(x float64) float64 {
+	return 1 - e.CDF(x)
+}
+
+// InverseCDF returns the smallest sample value v such that
+// P(X <= v) >= p. Unlike Quantile it never interpolates, so the
+// result is always an observed sample. The resourceful attacker uses
+// this to compute the largest additive traffic that keeps the evasion
+// probability at its target.
+func (e *Empirical) InverseCDF(p float64) (float64, error) {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0, ErrNoSamples
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: probability %g outside [0, 1]", p)
+	}
+	if p == 0 {
+		return e.sorted[0], nil
+	}
+	k := int(math.Ceil(p*float64(n))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return e.sorted[k], nil
+}
+
+// Samples returns the sorted sample slice. The caller must not
+// modify it.
+func (e *Empirical) Samples() []float64 { return e.sorted }
+
+// Merge returns a new empirical distribution over the union of the
+// samples of e and others. This is how the homogeneous policy
+// "collapses all the individual distributions into a single global
+// distribution" at the central console (paper §4).
+func (e *Empirical) Merge(others ...*Empirical) *Empirical {
+	total := len(e.sorted)
+	for _, o := range others {
+		total += len(o.sorted)
+	}
+	merged := make([]float64, 0, total)
+	merged = append(merged, e.sorted...)
+	for _, o := range others {
+		merged = append(merged, o.sorted...)
+	}
+	sort.Float64s(merged)
+	return &Empirical{sorted: merged}
+}
+
+// MergeEmpiricals builds a single distribution from many, skipping
+// nils and empties. Returns ErrNoSamples if nothing remains.
+func MergeEmpiricals(dists []*Empirical) (*Empirical, error) {
+	var total int
+	for _, d := range dists {
+		if d != nil {
+			total += len(d.sorted)
+		}
+	}
+	if total == 0 {
+		return nil, ErrNoSamples
+	}
+	merged := make([]float64, 0, total)
+	for _, d := range dists {
+		if d != nil {
+			merged = append(merged, d.sorted...)
+		}
+	}
+	sort.Float64s(merged)
+	return &Empirical{sorted: merged}, nil
+}
+
+// Shifted returns the distribution of X + delta — the attacked
+// traffic g + b for a constant additive attack b (paper §3: malicious
+// traffic is additive in the tracked feature).
+func (e *Empirical) Shifted(delta float64) *Empirical {
+	out := make([]float64, len(e.sorted))
+	for i, v := range e.sorted {
+		out[i] = v + delta
+	}
+	return &Empirical{sorted: out}
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width bin histogram over [Lo, Hi). Values below
+// Lo are clamped into the first bin and values at or above Hi into the
+// last, so the histogram never drops observations (the resourceful
+// attacker builds histograms of user traffic and must account for the
+// entire mass).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []uint64
+	total  uint64
+	width  float64
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins over
+// [lo, hi). It returns an error unless lo < hi and nbins >= 1.
+func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram requires lo < hi, got [%g, %g)", lo, hi)
+	}
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: histogram requires >= 1 bin, got %d", nbins)
+	}
+	return &Histogram{
+		Lo:     lo,
+		Hi:     hi,
+		Counts: make([]uint64, nbins),
+		width:  (hi - lo) / float64(nbins),
+	}, nil
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(x float64) {
+	h.Counts[h.binFor(x)]++
+	h.total++
+}
+
+func (h *Histogram) binFor(x float64) int {
+	if math.IsNaN(x) || x < h.Lo {
+		return 0
+	}
+	b := int((x - h.Lo) / h.width)
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.width
+}
+
+// CDF returns the fraction of observations in bins whose upper edge
+// is <= x (a step approximation of P(X <= x)).
+func (h *Histogram) CDF(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		upper := h.Lo + float64(i+1)*h.width
+		if upper > x {
+			break
+		}
+		cum += c
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// Quantile returns the left edge of the first bin at which the
+// cumulative fraction reaches q. It is a conservative (lower-bound)
+// quantile estimate suitable for threshold estimation from histogram
+// summaries shipped to the central console.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.total == 0 {
+		return 0, ErrNoSamples
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %g outside [0, 1]", q)
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= target {
+			return h.Lo + float64(i)*h.width, nil
+		}
+	}
+	return h.Hi, nil
+}
+
+// Merge adds o's counts into h. The histograms must have identical
+// geometry.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("stats: merging histograms with different geometry: [%g,%g)x%d vs [%g,%g)x%d",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.total += o.total
+	return nil
+}
+
+// LogHistogram buckets positive values into logarithmically spaced
+// bins (one per factor of base). It is the natural summary for the
+// multi-decade feature spreads in Fig 1.
+type LogHistogram struct {
+	Base    float64
+	MinExp  int
+	Counts  []uint64
+	zeroCnt uint64
+	total   uint64
+}
+
+// NewLogHistogram creates a log histogram with bins
+// [base^minExp, base^(minExp+1)), ... covering nbins decades. Values
+// below base^minExp (including zero) are counted in a dedicated
+// underflow bucket; values beyond the top land in the last bin.
+func NewLogHistogram(base float64, minExp, nbins int) (*LogHistogram, error) {
+	if base <= 1 {
+		return nil, fmt.Errorf("stats: log histogram base must exceed 1, got %g", base)
+	}
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: log histogram requires >= 1 bin, got %d", nbins)
+	}
+	return &LogHistogram{Base: base, MinExp: minExp, Counts: make([]uint64, nbins)}, nil
+}
+
+// Observe adds one observation.
+func (h *LogHistogram) Observe(x float64) {
+	h.total++
+	if x < math.Pow(h.Base, float64(h.MinExp)) || math.IsNaN(x) {
+		h.zeroCnt++
+		return
+	}
+	b := int(math.Floor(math.Log(x)/math.Log(h.Base))) - h.MinExp
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+}
+
+// Total returns the number of observations recorded.
+func (h *LogHistogram) Total() uint64 { return h.total }
+
+// Underflow returns the number of observations below the lowest bin.
+func (h *LogHistogram) Underflow() uint64 { return h.zeroCnt }
+
+// SpreadDecades returns the number of decades (log-base bins) between
+// the lowest and highest non-empty bins, the quantity Fig 1 visualizes
+// ("threshold diversity spans 3-4 orders of magnitude").
+func (h *LogHistogram) SpreadDecades() int {
+	lo, hi := -1, -1
+	for i, c := range h.Counts {
+		if c > 0 {
+			if lo == -1 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo == -1 {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// KMeansResult describes a clustering of n points into k groups.
+type KMeansResult struct {
+	// Assign maps point index to cluster index in [0, k).
+	Assign []int
+	// Centroids holds the final cluster centers.
+	Centroids [][]float64
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// KMeans clusters points (each a d-dimensional vector) into k groups
+// using k-means++ seeding and Lloyd's algorithm. The paper attempts
+// k-means over per-user 99th-percentile values when exploring
+// partial-diversity groupings (§5, "Grouping Users") and reports that
+// no natural cluster separation exists; we implement it both to
+// reproduce that negative result and as a general grouping method.
+//
+// It returns an error if points is empty, k < 1, k > len(points), or
+// the points have inconsistent dimensions.
+func KMeans(src *xrand.Source, points [][]float64, k, maxIters int) (*KMeansResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: kmeans requires at least one point")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("stats: kmeans requires 1 <= k <= n, got k=%d n=%d", k, n)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("stats: kmeans point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIters < 1 {
+		maxIters = 100
+	}
+
+	centroids := seedPlusPlus(src, points, k)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	res := &KMeansResult{}
+
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				d := sqDist(p, centroids[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best
+				assign[i] = best
+			}
+		}
+		res.Iters = iter + 1
+		if iter > 0 && !changed {
+			break
+		}
+		// recompute centroids
+		for c := range centroids {
+			counts[c] = 0
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				centroids[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its assigned centroid, a standard fix that keeps k
+				// clusters alive.
+				centroids[c] = append([]float64(nil), farthestPoint(points, assign, centroids)...)
+				continue
+			}
+			for d := range centroids[c] {
+				centroids[c][d] /= float64(counts[c])
+			}
+		}
+	}
+
+	res.Assign = assign
+	res.Centroids = centroids
+	for i, p := range points {
+		res.Inertia += sqDist(p, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+// KMeans1D clusters scalar values; a convenience wrapper used for
+// grouping users by a single feature threshold.
+func KMeans1D(src *xrand.Source, vals []float64, k, maxIters int) (*KMeansResult, error) {
+	points := make([][]float64, len(vals))
+	for i, v := range vals {
+		points[i] = []float64{v}
+	}
+	return KMeans(src, points, k, maxIters)
+}
+
+func seedPlusPlus(src *xrand.Source, points [][]float64, k int) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := src.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			idx = src.Intn(n)
+		} else {
+			target := src.Float64() * total
+			var cum float64
+			for i, d := range d2 {
+				cum += d
+				if cum >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func farthestPoint(points [][]float64, assign []int, centroids [][]float64) []float64 {
+	bestIdx, bestD := 0, -1.0
+	for i, p := range points {
+		d := sqDist(p, centroids[assign[i]])
+		if d > bestD {
+			bestIdx, bestD = i, d
+		}
+	}
+	return points[bestIdx]
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SilhouetteScore computes the mean silhouette coefficient of a
+// clustering: values near 1 mean well-separated clusters, values near
+// 0 mean overlapping clusters. The paper's observation that user
+// thresholds "sweep through the entire range of values" with "no
+// natural holes" corresponds to a low silhouette score.
+func SilhouetteScore(points [][]float64, assign []int, k int) float64 {
+	n := len(points)
+	if n < 2 || k < 2 {
+		return 0
+	}
+	var total float64
+	var counted int
+	for i := range points {
+		// mean distance to own cluster (a) and nearest other (b)
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for j := range points {
+			if i == j {
+				continue
+			}
+			sums[assign[j]] += math.Sqrt(sqDist(points[i], points[j]))
+			counts[assign[j]]++
+		}
+		own := assign[i]
+		if counts[own] == 0 {
+			continue // singleton cluster: silhouette undefined, skip
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

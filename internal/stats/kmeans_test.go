@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// twoBlobs returns points from two well-separated 2-D Gaussian blobs.
+func twoBlobs(r *xrand.Source, nPer int) ([][]float64, []int) {
+	pts := make([][]float64, 0, 2*nPer)
+	truth := make([]int, 0, 2*nPer)
+	for i := 0; i < nPer; i++ {
+		pts = append(pts, []float64{r.Normal(0, 0.5), r.Normal(0, 0.5)})
+		truth = append(truth, 0)
+	}
+	for i := 0; i < nPer; i++ {
+		pts = append(pts, []float64{r.Normal(10, 0.5), r.Normal(10, 0.5)})
+		truth = append(truth, 1)
+	}
+	return pts, truth
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	r := xrand.New(3)
+	pts, truth := twoBlobs(r, 50)
+	res, err := KMeans(r, pts, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points with the same truth label must share a cluster.
+	c0 := res.Assign[0]
+	for i, a := range res.Assign {
+		want := c0
+		if truth[i] == 1 {
+			want = 1 - c0
+		}
+		if a != want {
+			t.Fatalf("point %d assigned %d, want %d", i, a, want)
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	r := xrand.New(1)
+	if _, err := KMeans(r, nil, 1, 10); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(r, pts, 0, 10); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeans(r, pts, 3, 10); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := KMeans(r, [][]float64{{1}, {1, 2}}, 1, 10); err == nil {
+		t.Fatal("ragged dimensions accepted")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	r := xrand.New(7)
+	pts := [][]float64{{0}, {10}, {20}}
+	res, err := KMeans(r, pts, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("k=n did not produce singleton clusters: %v", res.Assign)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("k=n inertia = %g, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	r := xrand.New(11)
+	vals := make([]float64, 120)
+	for i := range vals {
+		vals[i] = r.LogNormal(2, 1.5)
+	}
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		res, err := KMeans1D(xrand.New(5), vals, k, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Fatalf("inertia increased at k=%d: %g > %g", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansAssignInRange(t *testing.T) {
+	r := xrand.New(13)
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	res, err := KMeans1D(r, vals, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 30 {
+		t.Fatalf("assign length %d", len(res.Assign))
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 4 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+	if res.Iters < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	vals := make([]float64, 50)
+	r := xrand.New(17)
+	for i := range vals {
+		vals[i] = r.LogNormal(1, 1)
+	}
+	a, _ := KMeans1D(xrand.New(99), vals, 3, 100)
+	b, _ := KMeans1D(xrand.New(99), vals, 3, 100)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("kmeans not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestSilhouetteHighForSeparatedClusters(t *testing.T) {
+	r := xrand.New(19)
+	pts, truth := twoBlobs(r, 30)
+	s := SilhouetteScore(pts, truth, 2)
+	if s < 0.8 {
+		t.Fatalf("silhouette of separated blobs = %g, want > 0.8", s)
+	}
+}
+
+func TestSilhouetteLowForUniformSmear(t *testing.T) {
+	// The paper's negative result: thresholds sweep the whole range
+	// with no holes, so any 2-way split has poor silhouette.
+	r := xrand.New(23)
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{r.Float64() * 100}
+	}
+	res, err := KMeans(xrand.New(1), pts, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SilhouetteScore(pts, res.Assign, 2)
+	if s > 0.75 {
+		t.Fatalf("silhouette of uniform smear = %g, expected weak structure", s)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if s := SilhouetteScore(nil, nil, 2); s != 0 {
+		t.Fatalf("empty silhouette = %g", s)
+	}
+	if s := SilhouetteScore([][]float64{{1}, {2}}, []int{0, 1}, 1); s != 0 {
+		t.Fatalf("k=1 silhouette = %g", s)
+	}
+}
+
+func BenchmarkKMeans350Users(b *testing.B) {
+	r := xrand.New(1)
+	vals := make([]float64, 350)
+	for i := range vals {
+		vals[i] = r.LogNormal(3, 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = KMeans1D(xrand.New(uint64(i)), vals, 8, 100)
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	r := xrand.New(1)
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = r.LogNormal(3, 2)
+	}
+	e := MustEmpirical(vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.MustQuantile(0.99)
+	}
+}

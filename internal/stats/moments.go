@@ -1,0 +1,205 @@
+package stats
+
+import "math"
+
+// Welford accumulates streaming mean and variance using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (denominator n-1), or 0 when
+// fewer than two observations exist.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge combines another accumulator into w using the parallel
+// variance formula (Chan et al.), so per-shard accumulators can be
+// reduced without losing precision.
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// Mean returns the arithmetic mean of vals, or 0 for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// StdDev returns the sample standard deviation (n-1) of vals, or 0
+// when fewer than two values exist.
+func StdDev(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	mean := Mean(vals)
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vals)-1))
+}
+
+// HarmonicMean returns the harmonic mean of a and b (the combination
+// underlying the F-measure). It returns 0 when either input is 0.
+func HarmonicMean(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns 0 when the inputs differ in length, have fewer than two
+// points, or either side has zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation between x and y
+// (Pearson correlation of the ranks, with ties given average rank).
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks returns the 1-based average ranks of vals (ties share the
+// mean of the ranks they occupy).
+func Ranks(vals []float64) []float64 {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// insertion-free: sort indices by value
+	quickSortIdx(idx, vals)
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && vals[idx[j+1]] == vals[idx[i]] {
+			j++
+		}
+		avg := (float64(i) + float64(j)) / 2.0
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg + 1
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func quickSortIdx(idx []int, vals []float64) {
+	if len(idx) < 2 {
+		return
+	}
+	// simple median-of-three quicksort on indices keyed by vals
+	lo, hi := 0, len(idx)-1
+	mid := (lo + hi) / 2
+	if vals[idx[mid]] < vals[idx[lo]] {
+		idx[mid], idx[lo] = idx[lo], idx[mid]
+	}
+	if vals[idx[hi]] < vals[idx[lo]] {
+		idx[hi], idx[lo] = idx[lo], idx[hi]
+	}
+	if vals[idx[hi]] < vals[idx[mid]] {
+		idx[hi], idx[mid] = idx[mid], idx[hi]
+	}
+	pivot := vals[idx[mid]]
+	i, j := lo, hi
+	for i <= j {
+		for vals[idx[i]] < pivot {
+			i++
+		}
+		for vals[idx[j]] > pivot {
+			j--
+		}
+		if i <= j {
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+			j--
+		}
+	}
+	quickSortIdx(idx[:j+1], vals)
+	quickSortIdx(idx[i:], vals)
+}

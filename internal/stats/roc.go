@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ROCPoint is one operating point of a threshold detector.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64 // false-positive rate, P(benign > T)
+	TPR       float64 // true-positive rate / detection, P(attacked > T)
+}
+
+// ROC sweeps the threshold across the union of benign and attacked
+// sample values and returns the full ⟨FPR, TPR⟩ curve, sorted by
+// increasing FPR. The detector alarms on values strictly greater
+// than the threshold, matching core.Detector. The curve always
+// includes the (0,·) and (1,1) endpoints.
+//
+// The paper evaluates detectors at fixed operating points (the 99th
+// percentile, the utility optimum); the ROC view generalizes those to
+// the whole trade-off frontier and underlies the F-measure and
+// utility optimizations.
+func ROC(benign, attacked *Empirical) ([]ROCPoint, error) {
+	if benign == nil || benign.N() == 0 || attacked == nil || attacked.N() == 0 {
+		return nil, ErrNoSamples
+	}
+	thrSet := make(map[float64]struct{}, benign.N()+attacked.N()+1)
+	for _, v := range benign.Samples() {
+		thrSet[v] = struct{}{}
+	}
+	for _, v := range attacked.Samples() {
+		thrSet[v] = struct{}{}
+	}
+	// A threshold below every sample gives the (1,1) corner.
+	thrSet[math.Min(benign.Min(), attacked.Min())-1] = struct{}{}
+	thresholds := make([]float64, 0, len(thrSet))
+	for v := range thrSet {
+		thresholds = append(thresholds, v)
+	}
+	sort.Float64s(thresholds)
+
+	curve := make([]ROCPoint, 0, len(thresholds))
+	for i := len(thresholds) - 1; i >= 0; i-- { // descending threshold = ascending FPR
+		t := thresholds[i]
+		curve = append(curve, ROCPoint{
+			Threshold: t,
+			FPR:       benign.TailProb(t),
+			TPR:       attacked.TailProb(t),
+		})
+	}
+	return curve, nil
+}
+
+// AUC integrates a ROC curve with the trapezoid rule. 0.5 is a
+// coin-flip detector; 1.0 is perfect separation.
+func AUC(curve []ROCPoint) (float64, error) {
+	if len(curve) < 2 {
+		return 0, fmt.Errorf("stats: AUC needs at least two ROC points, got %d", len(curve))
+	}
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		if dx < 0 {
+			return 0, fmt.Errorf("stats: ROC curve not sorted by FPR at index %d", i)
+		}
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area, nil
+}
+
+// OperatingPointAt returns the curve point with the largest FPR not
+// exceeding maxFPR — how an IT operator reads "best detection at a
+// 1% false-positive budget" off the frontier.
+func OperatingPointAt(curve []ROCPoint, maxFPR float64) (ROCPoint, error) {
+	if len(curve) == 0 {
+		return ROCPoint{}, fmt.Errorf("stats: empty ROC curve")
+	}
+	best := ROCPoint{FPR: -1}
+	for _, p := range curve {
+		if p.FPR <= maxFPR && p.FPR >= best.FPR {
+			if p.FPR > best.FPR || p.TPR > best.TPR {
+				best = p
+			}
+		}
+	}
+	if best.FPR < 0 {
+		return ROCPoint{}, fmt.Errorf("stats: no ROC point with FPR <= %g", maxFPR)
+	}
+	return best, nil
+}
+
+// KolmogorovSmirnov computes the two-sample KS statistic
+// D = sup |F_a(x) − F_b(x)| and the asymptotic p-value for the
+// hypothesis that a and b come from the same distribution. The
+// reproduction uses it to quantify the week-over-week distribution
+// drift behind the paper's threshold-instability observation (§6.1).
+func KolmogorovSmirnov(a, b *Empirical) (d, pValue float64, err error) {
+	if a == nil || a.N() == 0 || b == nil || b.N() == 0 {
+		return 0, 0, ErrNoSamples
+	}
+	sa, sb := a.Samples(), b.Samples()
+	var i, j int
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		x := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	// Asymptotic Kolmogorov distribution (Smirnov's formula).
+	ne := na * nb / (na + nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	pValue = ksProb(lambda)
+	return d, pValue, nil
+}
+
+// ksProb evaluates the Kolmogorov Q function Q(λ) = 2 Σ (−1)^{k−1}
+// exp(−2 k² λ²), clamped to [0, 1].
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * 2 * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

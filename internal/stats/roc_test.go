@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func twoClasses(sep float64, n int, seed uint64) (*Empirical, *Empirical) {
+	r := xrand.New(seed)
+	benign := make([]float64, n)
+	attacked := make([]float64, n)
+	for i := 0; i < n; i++ {
+		benign[i] = r.Normal(0, 1)
+		attacked[i] = r.Normal(sep, 1)
+	}
+	return MustEmpirical(benign), MustEmpirical(attacked)
+}
+
+func TestROCEndpoints(t *testing.T) {
+	b, a := twoClasses(2, 500, 1)
+	curve, err := ROC(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 {
+		t.Fatalf("curve does not start at FPR 0: %+v", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve does not end at (1,1): %+v", last)
+	}
+	// Monotone in both axes.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR-1e-12 {
+			t.Fatalf("curve not monotone at %d: %+v -> %+v", i, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestAUCOrdersBySeparation(t *testing.T) {
+	prev := 0.0
+	for _, sep := range []float64{0, 1, 2, 4} {
+		b, a := twoClasses(sep, 800, 7)
+		curve, err := ROC(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auc, err := AUC(curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auc < prev-0.02 {
+			t.Fatalf("AUC not increasing with separation: %g after %g", auc, prev)
+		}
+		prev = auc
+	}
+	// Perfect separation -> AUC ~ 1; none -> ~0.5.
+	b, a := twoClasses(10, 500, 3)
+	curve, _ := ROC(b, a)
+	if auc, _ := AUC(curve); auc < 0.999 {
+		t.Fatalf("separated AUC = %g", auc)
+	}
+	b, a = twoClasses(0, 2000, 5)
+	curve, _ = ROC(b, a)
+	if auc, _ := AUC(curve); math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("coin-flip AUC = %g", auc)
+	}
+}
+
+func TestAUCTheoreticalValue(t *testing.T) {
+	// For two unit-variance normals separated by d, AUC = Φ(d/√2).
+	b, a := twoClasses(1.5, 4000, 11)
+	curve, _ := ROC(b, a)
+	auc, _ := AUC(curve)
+	want := 0.5 * (1 + math.Erf(1.5/2))
+	if math.Abs(auc-want) > 0.02 {
+		t.Fatalf("AUC = %g, want ~%g", auc, want)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	b, _ := twoClasses(1, 10, 1)
+	if _, err := ROC(nil, b); err == nil {
+		t.Fatal("nil benign accepted")
+	}
+	if _, err := ROC(b, nil); err == nil {
+		t.Fatal("nil attacked accepted")
+	}
+	if _, err := AUC(nil); err == nil {
+		t.Fatal("empty AUC accepted")
+	}
+	if _, err := AUC([]ROCPoint{{FPR: 1}, {FPR: 0}}); err == nil {
+		t.Fatal("unsorted curve accepted")
+	}
+}
+
+func TestOperatingPointAt(t *testing.T) {
+	b, a := twoClasses(2, 1000, 13)
+	curve, _ := ROC(b, a)
+	p, err := OperatingPointAt(curve, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FPR > 0.01 {
+		t.Fatalf("operating point FPR %g exceeds budget", p.FPR)
+	}
+	if p.TPR <= 0 {
+		t.Fatalf("operating point TPR %g", p.TPR)
+	}
+	if _, err := OperatingPointAt(nil, 0.01); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+}
+
+func TestKSIdenticalDistributions(t *testing.T) {
+	r := xrand.New(17)
+	v1 := make([]float64, 2000)
+	v2 := make([]float64, 2000)
+	for i := range v1 {
+		v1[i] = r.LogNormal(1, 1)
+		v2[i] = r.LogNormal(1, 1)
+	}
+	d, p, err := KolmogorovSmirnov(MustEmpirical(v1), MustEmpirical(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.06 {
+		t.Fatalf("KS statistic %g for identical distributions", d)
+	}
+	if p < 0.01 {
+		t.Fatalf("p-value %g rejects identical distributions", p)
+	}
+}
+
+func TestKSShiftedDistributions(t *testing.T) {
+	r := xrand.New(19)
+	v1 := make([]float64, 1000)
+	v2 := make([]float64, 1000)
+	for i := range v1 {
+		v1[i] = r.Normal(0, 1)
+		v2[i] = r.Normal(1, 1)
+	}
+	d, p, err := KolmogorovSmirnov(MustEmpirical(v1), MustEmpirical(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theoretical D for a unit shift of unit normals is ~0.38.
+	if d < 0.25 {
+		t.Fatalf("KS statistic %g too small for shifted distributions", d)
+	}
+	if p > 1e-6 {
+		t.Fatalf("p-value %g does not reject shifted distributions", p)
+	}
+}
+
+func TestKSSelfIsZero(t *testing.T) {
+	e := MustEmpirical([]float64{1, 2, 3, 4, 5})
+	d, p, err := KolmogorovSmirnov(e, e)
+	if err != nil || d != 0 || p != 1 {
+		t.Fatalf("self-KS: d=%g p=%g err=%v", d, p, err)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	e := MustEmpirical([]float64{1})
+	if _, _, err := KolmogorovSmirnov(nil, e); err == nil {
+		t.Fatal("nil a accepted")
+	}
+	if _, _, err := KolmogorovSmirnov(e, &Empirical{}); err == nil {
+		t.Fatal("empty b accepted")
+	}
+}
+
+func TestKSProbBounds(t *testing.T) {
+	if ksProb(0) != 1 {
+		t.Fatal("ksProb(0) != 1")
+	}
+	if p := ksProb(10); p > 1e-12 {
+		t.Fatalf("ksProb(10) = %g", p)
+	}
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		p := ksProb(l)
+		if p > prev+1e-12 || p < 0 || p > 1 {
+			t.Fatalf("ksProb not monotone/bounded at %g: %g", l, p)
+		}
+		prev = p
+	}
+}
+
+func BenchmarkROC(b *testing.B) {
+	be, at := twoClasses(2, 672, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ROC(be, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

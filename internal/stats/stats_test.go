@@ -1,0 +1,393 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := xrand.New(1)
+	vals := make([]float64, 1000)
+	var w Welford
+	for i := range vals {
+		vals[i] = r.LogNormal(2, 1)
+		w.Add(vals[i])
+	}
+	if math.Abs(w.Mean()-Mean(vals)) > 1e-9 {
+		t.Fatalf("Welford mean %g != batch mean %g", w.Mean(), Mean(vals))
+	}
+	if math.Abs(w.StdDev()-StdDev(vals)) > 1e-9 {
+		t.Fatalf("Welford stddev %g != batch stddev %g", w.StdDev(), StdDev(vals))
+	}
+	e := MustEmpirical(vals)
+	if w.Min() != e.Min() || w.Max() != e.Max() {
+		t.Fatal("Welford min/max mismatch")
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	r := xrand.New(2)
+	var all, a, b Welford
+	for i := 0; i < 500; i++ {
+		v := r.Normal(5, 2)
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 || math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Fatalf("merged moments (%g, %g) != full (%g, %g)",
+			a.Mean(), a.Variance(), all.Mean(), all.Variance())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(3)
+	a.Merge(&b) // no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge with empty changed accumulator")
+	}
+	b.Merge(&a)
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean(1, 1); got != 1 {
+		t.Fatalf("HarmonicMean(1,1) = %g", got)
+	}
+	if got := HarmonicMean(0, 5); got != 0 {
+		t.Fatalf("HarmonicMean(0,5) = %g", got)
+	}
+	want := 2 * 0.5 * 0.25 / 0.75
+	if got := HarmonicMean(0.5, 0.25); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("HarmonicMean(0.5,0.25) = %g, want %g", got, want)
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect positive correlation = %g", got)
+	}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yNeg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect negative correlation = %g", got)
+	}
+	if got := Pearson(x, []float64{1, 1, 1, 1, 1}); got != 0 {
+		t.Fatalf("zero-variance correlation = %g", got)
+	}
+	if got := Pearson(x, []float64{1, 2}); got != 0 {
+		t.Fatalf("length-mismatch correlation = %g", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman is 1 for any strictly monotone relationship.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v) // nonlinear but monotone
+	}
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman of monotone data = %g, want 1", got)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 88, FN: 2}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("Precision = %g", got)
+	}
+	if got := c.Recall(); got != 0.8 {
+		t.Errorf("Recall = %g", got)
+	}
+	if got := c.FalsePositiveRate(); math.Abs(got-2.0/90) > 1e-12 {
+		t.Errorf("FPR = %g", got)
+	}
+	if got := c.FalseNegativeRate(); got != 0.2 {
+		t.Errorf("FNR = %g", got)
+	}
+	if got := c.F1(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("F1 = %g", got)
+	}
+	if got := c.Total(); got != 100 {
+		t.Errorf("Total = %d", got)
+	}
+}
+
+func TestConfusionZeroDenominators(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.FalsePositiveRate() != 0 ||
+		c.FalseNegativeRate() != 0 || c.F1() != 0 {
+		t.Fatal("zero confusion matrix produced nonzero rates")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	a.Add(Confusion{TP: 10, FP: 20, TN: 30, FN: 40})
+	if a != (Confusion{TP: 11, FP: 22, TN: 33, FN: 44}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestFBeta(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 88, FN: 2}
+	if got := c.FBeta(1); math.Abs(got-c.F1()) > 1e-12 {
+		t.Fatalf("FBeta(1) = %g != F1 = %g", got, c.F1())
+	}
+	// Recall-heavy beta should stay equal here since P == R.
+	if got := c.FBeta(2); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("FBeta(2) = %g, want 0.8", got)
+	}
+	if got := c.FBeta(0); got != 0 {
+		t.Fatalf("FBeta(0) = %g, want 0", got)
+	}
+}
+
+func TestUtilityFormula(t *testing.T) {
+	// U = 1 - [w*FN + (1-w)*FP], paper §6.1.
+	if got := Utility(0, 0, 0.4); got != 1 {
+		t.Fatalf("perfect detector utility = %g", got)
+	}
+	if got := Utility(1, 1, 0.4); got != 0 {
+		t.Fatalf("worst detector utility = %g", got)
+	}
+	want := 1 - (0.4*0.5 + 0.6*0.1)
+	if got := Utility(0.5, 0.1, 0.4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Utility(0.5,0.1,0.4) = %g, want %g", got, want)
+	}
+}
+
+func TestUtilityBounds(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		fn := float64(a) / 255
+		fp := float64(b) / 255
+		w := float64(c) / 255
+		u := Utility(fn, fp, w)
+		return u >= -1e-12 && u <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilityOf(t *testing.T) {
+	c := Confusion{TP: 5, FN: 5, FP: 10, TN: 90}
+	want := Utility(0.5, 0.1, 0.3)
+	if got := UtilityOf(c, 0.3); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("UtilityOf = %g, want %g", got, want)
+	}
+}
+
+func TestBoxplotKnown(t *testing.T) {
+	b, err := NewBoxplot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 10 || b.Min != 1 || b.Max != 100 {
+		t.Fatalf("boxplot extremes: %+v", b)
+	}
+	if b.Median != 5.5 {
+		t.Fatalf("median = %g, want 5.5", b.Median)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.WhiskerHi != 9 {
+		t.Fatalf("upper whisker = %g, want 9", b.WhiskerHi)
+	}
+}
+
+func TestBoxplotInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := r.Intn(100) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.LogNormal(0, 2)
+		}
+		b, err := NewBoxplot(vals)
+		if err != nil {
+			return false
+		}
+		return b.Min <= b.Q1 && b.Q1 <= b.Median &&
+			b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.WhiskerLo <= b.WhiskerHi &&
+			b.N == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxplotEmpty(t *testing.T) {
+	if _, err := NewBoxplot(nil); err == nil {
+		t.Fatal("empty boxplot did not error")
+	}
+}
+
+func TestBoxplotString(t *testing.T) {
+	b, _ := NewBoxplot([]float64{1, 2, 3})
+	if s := b.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-5, 0, 0.5, 5, 9.99, 10, 1000} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 3 { // -5 (clamped), 0, 0.5
+		t.Fatalf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[9] != 3 { // 9.99, 10 and 1000 clamped to last
+		t.Fatalf("bin 9 = %d, want 3", h.Counts[9])
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(5, 5, 10); err == nil {
+		t.Fatal("lo==hi accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("0 bins accepted")
+	}
+}
+
+func TestHistogramQuantileApproximatesEmpirical(t *testing.T) {
+	r := xrand.New(9)
+	h, _ := NewHistogram(0, 1000, 2000)
+	vals := make([]float64, 20000)
+	for i := range vals {
+		vals[i] = r.Exponential(100)
+		h.Observe(vals[i])
+	}
+	e := MustEmpirical(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		hq, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq := e.MustQuantile(q)
+		if math.Abs(hq-eq) > 2 { // within a few bin widths
+			t.Errorf("hist quantile %g = %g, empirical = %g", q, hq, eq)
+		}
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	r := xrand.New(10)
+	h, _ := NewHistogram(0, 100, 50)
+	for i := 0; i < 1000; i++ {
+		h.Observe(r.Float64() * 100)
+	}
+	prev := -1.0
+	for x := 0.0; x <= 110; x += 2 {
+		c := h.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %g", x)
+		}
+		prev = c
+	}
+	if h.CDF(100) != 1 {
+		t.Fatalf("CDF(hi) = %g, want 1", h.CDF(100))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 5)
+	b, _ := NewHistogram(0, 10, 5)
+	a.Observe(1)
+	b.Observe(9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 2 || a.Counts[4] != 1 {
+		t.Fatalf("merge result: %+v", a)
+	}
+	c, _ := NewHistogram(0, 20, 5)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	if _, err := h.Quantile(0.5); err != ErrNoSamples {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLogHistogramSpread(t *testing.T) {
+	h, err := NewLogHistogram(10, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples spanning 1..10^4: spread should be 4 decades.
+	for _, v := range []float64{1, 5, 50, 500, 5000, 50000 / 5} {
+		h.Observe(v)
+	}
+	if got := h.SpreadDecades(); got != 4 {
+		t.Fatalf("SpreadDecades = %d, want 4", got)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestLogHistogramUnderflow(t *testing.T) {
+	h, _ := NewLogHistogram(10, 0, 4)
+	h.Observe(0)
+	h.Observe(0.5)
+	h.Observe(2)
+	if h.Underflow() != 2 {
+		t.Fatalf("Underflow = %d, want 2", h.Underflow())
+	}
+}
+
+func TestLogHistogramErrors(t *testing.T) {
+	if _, err := NewLogHistogram(1, 0, 4); err == nil {
+		t.Fatal("base 1 accepted")
+	}
+	if _, err := NewLogHistogram(10, 0, 0); err == nil {
+		t.Fatal("0 bins accepted")
+	}
+}
+
+func TestLogHistogramEmptySpread(t *testing.T) {
+	h, _ := NewLogHistogram(10, 0, 4)
+	if h.SpreadDecades() != 0 {
+		t.Fatal("empty histogram has nonzero spread")
+	}
+}

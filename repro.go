@@ -1,0 +1,203 @@
+// Package repro is the public API of the reproduction of "Impact of
+// IT Monoculture on Behavioral End Host Intrusion Detection"
+// (Barman, Chandrashekar, Taft, Faloutsos, Huang, Giroire — WREN/
+// SIGCOMM workshop 2009).
+//
+// It wires together the internal substrates — synthetic enterprise
+// trace generation, packet-level feature extraction, threshold
+// heuristics, grouping policies, attacker models and the management
+// plane — behind a small surface:
+//
+//	ent, _ := repro.NewEnterprise(repro.Options{Users: 350, Weeks: 2, Seed: 1})
+//	res, _ := repro.Fig3a(ent, repro.DefaultExperimentConfig())
+//	fmt.Println(res)
+//
+// Every table and figure of the paper's evaluation has a runner in
+// experiments.go (Fig1 … Fig5b, Table2, Table3); each returns a
+// structured result whose String method renders the same rows or
+// series the paper plots. See EXPERIMENTS.md for paper-vs-measured
+// values and DESIGN.md for the substitutions made for the
+// proprietary inputs.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options configures a synthetic enterprise.
+type Options struct {
+	// Users is the end-host population size (the paper's is 350).
+	Users int
+	// Weeks of capture (the paper has 5; experiments need >= 2 for
+	// the train-week/test-week methodology).
+	Weeks int
+	// Seed makes the enterprise reproducible.
+	Seed uint64
+	// BinWidth is the aggregation window (default 15 minutes).
+	BinWidth time.Duration
+	// WeeklyTrend overrides the population's weekly rate trend; zero
+	// keeps the calibrated default (see internal/trace).
+	WeeklyTrend float64
+}
+
+// Enterprise is a generated population together with its lazily
+// materialized per-user feature matrices. It is safe for concurrent
+// use after construction.
+type Enterprise struct {
+	// Pop is the underlying synthetic population.
+	Pop *trace.Population
+
+	once     []sync.Once
+	matrices []*features.Matrix
+}
+
+// NewEnterprise generates a deterministic enterprise from opts.
+func NewEnterprise(opts Options) (*Enterprise, error) {
+	pop, err := trace.NewPopulation(trace.Config{
+		Users:       opts.Users,
+		Weeks:       opts.Weeks,
+		Seed:        opts.Seed,
+		BinWidth:    opts.BinWidth,
+		WeeklyTrend: opts.WeeklyTrend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Enterprise{
+		Pop:      pop,
+		once:     make([]sync.Once, len(pop.Users)),
+		matrices: make([]*features.Matrix, len(pop.Users)),
+	}, nil
+}
+
+// Users returns the population size.
+func (e *Enterprise) Users() int { return len(e.Pop.Users) }
+
+// Matrix returns user u's feature matrix, materializing it on first
+// use.
+func (e *Enterprise) Matrix(u int) *features.Matrix {
+	e.once[u].Do(func() {
+		e.matrices[u] = e.Pop.Users[u].Series()
+	})
+	return e.matrices[u]
+}
+
+// Materialize builds every user's matrix using all CPUs; experiments
+// call it up front so their own timings exclude generation.
+func (e *Enterprise) Materialize() {
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range ch {
+				e.Matrix(u)
+			}
+		}()
+	}
+	for u := range e.matrices {
+		ch <- u
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// TrainTest extracts every user's train-week and test-week series of
+// one feature, the input shape of the §6.1 methodology.
+func (e *Enterprise) TrainTest(f features.Feature, trainWeek, testWeek int) (train, test [][]float64) {
+	train = make([][]float64, e.Users())
+	test = make([][]float64, e.Users())
+	for u := range train {
+		m := e.Matrix(u)
+		lo, hi := m.WeekRange(trainWeek)
+		train[u] = m.ColumnSlice(f, lo, hi)
+		lo, hi = m.WeekRange(testWeek)
+		test[u] = m.ColumnSlice(f, lo, hi)
+	}
+	return train, test
+}
+
+// TailStats returns every user's q-quantile of one feature over the
+// given week (the per-user thresholds Fig 1 plots).
+func (e *Enterprise) TailStats(f features.Feature, week int, q float64) ([]float64, error) {
+	out := make([]float64, e.Users())
+	for u := range out {
+		m := e.Matrix(u)
+		lo, hi := m.WeekRange(week)
+		d, err := m.Distribution(f, lo, hi)
+		if err != nil {
+			return nil, fmt.Errorf("repro: user %d %s: %w", u, f, err)
+		}
+		v, err := d.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out[u] = v
+	}
+	return out, nil
+}
+
+// Policies returns the paper's three grouping policies under one
+// heuristic, in presentation order: homogeneous, full diversity,
+// 8-partial.
+func Policies(h core.Heuristic) []core.Policy {
+	return []core.Policy{
+		{Heuristic: h, Grouping: core.Homogeneous{}},
+		{Heuristic: h, Grouping: core.FullDiversity{}},
+		{Heuristic: h, Grouping: core.PartialDiversity{NumGroups: 8}},
+	}
+}
+
+// AttackSweep builds the paper's attack-size sweep for one feature:
+// n geometrically spaced sizes from 1 up to the maximum feature value
+// any user exhibits in the training week ("the largest attack for a
+// given feature is determined by finding the user whose own traffic
+// hits the maximum seen value", §6.1).
+func (e *Enterprise) AttackSweep(f features.Feature, trainWeek, n int) []float64 {
+	var max float64
+	for u := 0; u < e.Users(); u++ {
+		m := e.Matrix(u)
+		lo, hi := m.WeekRange(trainWeek)
+		for b := lo; b < hi; b++ {
+			if v := m.Rows[b][f]; v > max {
+				max = v
+			}
+		}
+	}
+	if max < 2 {
+		max = 2
+	}
+	return geomSpace(1, max, n)
+}
+
+// geomSpace returns n geometrically spaced values over [lo, hi].
+func geomSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{hi}
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Distribution builds one user's empirical distribution of a feature
+// over a week.
+func (e *Enterprise) Distribution(u int, f features.Feature, week int) (*stats.Empirical, error) {
+	m := e.Matrix(u)
+	lo, hi := m.WeekRange(week)
+	return m.Distribution(f, lo, hi)
+}
