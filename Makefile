@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench experiments
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the CI gate: static checks, build, and the full suite
+# under the race detector (the experiment engine is parallel; every
+# PR must stay race-clean).
+verify: vet build race
+
+# bench runs the per-experiment benchmarks and records them as
+# BENCH_repro.json, the perf trajectory checked in with each PR.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem . | tee /tmp/bench_repro.txt
+	./scripts/bench_json.sh /tmp/bench_repro.txt scripts/seed_baseline.bench > BENCH_repro.json
+	@echo wrote BENCH_repro.json
+
+experiments:
+	$(GO) run ./cmd/experiments

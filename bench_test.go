@@ -282,3 +282,61 @@ func BenchmarkEnterpriseGeneration(b *testing.B) {
 		_ = ent.Matrix(0)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Scale (ROADMAP north star)
+
+var (
+	scaleEntOnce sync.Once
+	scaleEnt     *Enterprise
+)
+
+// scaleEnterprise returns a shared 5000-user enterprise — 14x the
+// paper's population. Before the columnar workspace this scale was
+// impractical: every runner re-copied and re-sorted 5000 x 672
+// columns per (feature, quantile) pair.
+func scaleEnterprise(b *testing.B) *Enterprise {
+	b.Helper()
+	scaleEntOnce.Do(func() {
+		ent, err := NewEnterprise(Options{Users: 5000, Weeks: 2, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		ent.Materialize()
+		scaleEnt = ent
+	})
+	return scaleEnt
+}
+
+func BenchmarkScaleFig1Users5000(b *testing.B) {
+	e := scaleEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig1(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleFig3aUsers5000(b *testing.B) {
+	e := scaleEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig3a(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleTable3Users5000(b *testing.B) {
+	e := scaleEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table3(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,9 +4,12 @@
 // Usage:
 //
 //	experiments [-users 350] [-weeks 2] [-seed 1] [-run all|fig1,table3,...]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
 //
 // Each experiment prints a textual rendering of the corresponding
-// paper artifact; EXPERIMENTS.md records the expected shapes.
+// paper artifact; EXPERIMENTS.md records the expected shapes. The
+// profiling flags write standard pprof / runtime-trace files covering
+// the experiment runs, for `go tool pprof` / `go tool trace`.
 package main
 
 import (
@@ -14,6 +17,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -26,26 +32,86 @@ func main() {
 	seed := flag.Uint64("seed", 1, "population seed")
 	run := flag.String("run", "all", "comma-separated experiment ids (fig1, fig2, table2, fig3a, fig3b, table3, fig4a, fig4b, fig5a, fig5b) or 'all'")
 	binMinutes := flag.Int("bin", 15, "aggregation window in minutes (5 or 15 in the paper)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
+	// All work happens in realMain so its defers — which finalize the
+	// profile files — run before os.Exit. log.Fatalf anywhere below
+	// would truncate the CPU profile/trace and skip the heap profile,
+	// exactly on the failing runs one most wants to profile.
+	os.Exit(realMain(*users, *weeks, *seed, *run, *binMinutes, *cpuProfile, *memProfile, *traceFile))
+}
+
+func realMain(users, weeks int, seed uint64, run string, binMinutes int, cpuProfile, memProfile, traceFile string) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			log.Printf("creating cpu profile: %v", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Printf("starting cpu profile: %v", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			log.Printf("creating trace file: %v", err)
+			return 1
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			log.Printf("starting trace: %v", err)
+			return 1
+		}
+		defer rtrace.Stop()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				log.Printf("creating mem profile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("writing mem profile: %v", err)
+			}
+		}()
+	}
+
+	if weeks < 2 {
+		// The runners all use the week-0-train / week-1-test split;
+		// without this guard a 1-week enterprise panics deep in
+		// WeekRange instead of explaining itself.
+		log.Printf("need -weeks >= 2 (train week + test week), got %d", weeks)
+		return 1
+	}
 	start := time.Now()
 	ent, err := repro.NewEnterprise(repro.Options{
-		Users:    *users,
-		Weeks:    *weeks,
-		Seed:     *seed,
-		BinWidth: time.Duration(*binMinutes) * time.Minute,
+		Users:    users,
+		Weeks:    weeks,
+		Seed:     seed,
+		BinWidth: time.Duration(binMinutes) * time.Minute,
 	})
 	if err != nil {
-		log.Fatalf("building enterprise: %v", err)
+		log.Printf("building enterprise: %v", err)
+		return 1
 	}
 	fmt.Printf("# enterprise: %d users, %d weeks, %d-minute bins, seed %d\n",
-		*users, *weeks, *binMinutes, *seed)
+		users, weeks, binMinutes, seed)
 	ent.Materialize()
 	fmt.Printf("# traces materialized in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	cfg := repro.DefaultExperimentConfig()
 	wanted := map[string]bool{}
-	for _, id := range strings.Split(*run, ",") {
+	for _, id := range strings.Split(run, ",") {
 		wanted[strings.TrimSpace(id)] = true
 	}
 	all := wanted["all"]
@@ -74,13 +140,15 @@ func main() {
 		t0 := time.Now()
 		res, err := ex.fn()
 		if err != nil {
-			log.Fatalf("%s: %v", ex.id, err)
+			log.Printf("%s: %v", ex.id, err)
+			return 1
 		}
 		fmt.Printf("== %s (%v) ==\n%s\n", ex.id, time.Since(t0).Round(time.Millisecond), res)
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched -run %q\n", *run)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "no experiments matched -run %q\n", run)
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,239 @@
+package repro
+
+// Equivalence guard for the columnar-workspace refactor: the cached,
+// parallel read path must produce results byte-identical to the seed
+// implementation's uncached copy-then-sort computation. The reference
+// implementations below reproduce the seed algorithms verbatim
+// (fresh column copies, per-call sorts, serial Configure/Evaluate)
+// against the raw matrices, bypassing the workspace entirely.
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+)
+
+var (
+	equivEntOnce sync.Once
+	equivEnt     *Enterprise
+)
+
+func equivEnterprise(t *testing.T) *Enterprise {
+	t.Helper()
+	equivEntOnce.Do(func() {
+		ent, err := NewEnterprise(Options{Users: 40, Weeks: 2, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		ent.Materialize()
+		equivEnt = ent
+	})
+	return equivEnt
+}
+
+// refTailStats is the seed TailStats: fresh column copy, fresh sort,
+// per call.
+func refTailStats(e *Enterprise, f features.Feature, week int, q float64) []float64 {
+	out := make([]float64, e.Users())
+	for u := range out {
+		m := e.Matrix(u)
+		lo, hi := m.WeekRange(week)
+		d, err := stats.NewEmpirical(m.ColumnSlice(f, lo, hi))
+		if err != nil {
+			panic(err)
+		}
+		out[u] = d.MustQuantile(q)
+	}
+	return out
+}
+
+// refTrainTest is the seed TrainTest: direct ColumnSlice copies.
+func refTrainTest(e *Enterprise, f features.Feature, trainWeek, testWeek int) (train, test [][]float64) {
+	train = make([][]float64, e.Users())
+	test = make([][]float64, e.Users())
+	for u := range train {
+		m := e.Matrix(u)
+		lo, hi := m.WeekRange(trainWeek)
+		train[u] = m.ColumnSlice(f, lo, hi)
+		lo, hi = m.WeekRange(testWeek)
+		test[u] = m.ColumnSlice(f, lo, hi)
+	}
+	return train, test
+}
+
+// refAttackSweep is the seed AttackSweep: full scan of every bin.
+func refAttackSweep(e *Enterprise, f features.Feature, trainWeek, n int) []float64 {
+	var max float64
+	for u := 0; u < e.Users(); u++ {
+		m := e.Matrix(u)
+		lo, hi := m.WeekRange(trainWeek)
+		for b := lo; b < hi; b++ {
+			if v := m.Rows[b][f]; v > max {
+				max = v
+			}
+		}
+	}
+	if max < 2 {
+		max = 2
+	}
+	return geomSpace(1, max, n)
+}
+
+func TestWorkspaceTailStatsMatchesSeed(t *testing.T) {
+	e := equivEnterprise(t)
+	for _, f := range features.All() {
+		for _, q := range []float64{0.99, 0.999} {
+			got, err := e.TailStats(f, 0, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refTailStats(e, f, 0, q)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s q%g: cached tails diverge from seed computation", f, q)
+			}
+		}
+	}
+}
+
+func TestWorkspaceSweepAndTrainTestMatchSeed(t *testing.T) {
+	e := equivEnterprise(t)
+	cfg := DefaultExperimentConfig()
+	if got, want := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints),
+		refAttackSweep(e, cfg.Feature, cfg.TrainWeek, cfg.SweepPoints); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached sweep %v != seed %v", got, want)
+	}
+	gotTr, gotTe := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	wantTr, wantTe := refTrainTest(e, cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	if !reflect.DeepEqual(gotTr, wantTr) || !reflect.DeepEqual(gotTe, wantTe) {
+		t.Fatal("workspace train/test series diverge from seed computation")
+	}
+}
+
+func TestFig1MatchesSeedComputation(t *testing.T) {
+	e := equivEnterprise(t)
+	cfg := DefaultExperimentConfig()
+	got, err := Fig1(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed Fig1: serial loop over features, uncached tails.
+	want := &Fig1Result{}
+	for _, f := range features.All() {
+		p99 := refTailStats(e, f, cfg.TrainWeek, 0.99)
+		p999 := refTailStats(e, f, cfg.TrainWeek, 0.999)
+		sort.Float64s(p99)
+		sort.Float64s(p999)
+		se := stats.MustEmpirical(p99)
+		lo, hi := se.MustQuantile(0.02), se.MustQuantile(0.98)
+		spread := 0.0
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > lo {
+			spread = math.Log10(hi / lo)
+		}
+		want.Panels = append(want.Panels, Fig1Feature{
+			Feature: f, P99: p99, P999: p999, SpreadDecades: spread,
+		})
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Fig1 diverges from the seed computation")
+	}
+	if got.String() != want.String() {
+		t.Fatal("Fig1 rendering diverges from the seed computation")
+	}
+}
+
+func TestFig3aMatchesSeedComputation(t *testing.T) {
+	e := equivEnterprise(t)
+	cfg := DefaultExperimentConfig()
+	got, err := Fig3a(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed evalPolicies: per-call train/test/sweep derivation, serial
+	// policies, per-user overlay slices, full EvaluatePolicy with raw
+	// training series.
+	train, test := refTrainTest(e, cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
+	sweep := refAttackSweep(e, cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
+	overlay := make([][]float64, len(test))
+	for u := range overlay {
+		overlay[u] = sweepOverlay(len(test[u]), sweep)
+	}
+	h := core.UtilityOptimal{W: cfg.UtilityW}
+	want := &Fig3aResult{}
+	for _, pol := range Policies(h) {
+		r, err := core.EvaluatePolicy(core.EvalInput{
+			Train: train, Test: test, Attack: overlay,
+			AttackMagnitudes: sweep, Policy: pol,
+			Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.PolicyNames = append(want.PolicyNames, pol.Name())
+		u := r.Utilities(cfg.UtilityW)
+		want.Utilities = append(want.Utilities, u)
+		bp, err := stats.NewBoxplot(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Boxplots = append(want.Boxplots, bp)
+	}
+	if !reflect.DeepEqual(got.Utilities, want.Utilities) {
+		t.Fatal("Fig3a utilities diverge from the seed computation")
+	}
+	if !reflect.DeepEqual(got.Boxplots, want.Boxplots) {
+		t.Fatal("Fig3a boxplots diverge from the seed computation")
+	}
+	if got.String() != want.String() {
+		t.Fatal("Fig3a rendering diverges from the seed computation")
+	}
+}
+
+func TestTable2MatchesSeedComputation(t *testing.T) {
+	e := equivEnterprise(t)
+	cfg := DefaultExperimentConfig()
+	got, err := Table2(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed Table2: per-call distribution builds, serial Configure.
+	refBest := func(f features.Feature, g core.Grouping) []int {
+		train := make([]*stats.Empirical, e.Users())
+		for u := range train {
+			m := e.Matrix(u)
+			lo, hi := m.WeekRange(cfg.TrainWeek)
+			d, err := m.Distribution(f, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			train[u] = d
+		}
+		asn, err := core.Configure(train, core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: g}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return asn.BestUsers(10)
+	}
+	want := &Table2Result{
+		FullUDP:    refBest(features.UDP, core.FullDiversity{}),
+		FullTCP:    refBest(features.TCP, core.FullDiversity{}),
+		PartialUDP: refBest(features.UDP, core.PartialDiversity{NumGroups: 8}),
+		PartialTCP: refBest(features.TCP, core.PartialDiversity{NumGroups: 8}),
+	}
+	want.FullOverlap = core.Overlap(want.FullUDP, want.FullTCP)
+	want.PartialOverlap = core.Overlap(want.PartialUDP, want.PartialTCP)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Table2 diverges from the seed computation:\n got %+v\nwant %+v", got, want)
+	}
+	if got.String() != want.String() {
+		t.Fatal("Table2 rendering diverges from the seed computation")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -67,34 +68,46 @@ type Fig1Result struct {
 }
 
 // Fig1 computes per-user 99th and 99.9th percentile thresholds for
-// all six features over the training week.
+// all six features over the training week. The per-feature panels
+// come from the workspace's memoized per-user quantile vectors and
+// build in parallel.
 func Fig1(e *Enterprise, cfg ExperimentConfig) (*Fig1Result, error) {
-	res := &Fig1Result{}
-	for _, f := range features.All() {
+	all := features.All()
+	res := &Fig1Result{Panels: make([]Fig1Feature, len(all))}
+	err := par.ForEachErr(len(all), 0, func(i int) error {
+		f := all[i]
 		p99, err := e.TailStats(f, cfg.TrainWeek, 0.99)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p999, err := e.TailStats(f, cfg.TrainWeek, 0.999)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sort.Float64s(p99)
 		sort.Float64s(p999)
-		res.Panels = append(res.Panels, Fig1Feature{
+		res.Panels[i] = Fig1Feature{
 			Feature:       f,
 			P99:           p99,
 			P999:          p999,
 			SpreadDecades: spreadDecades(p99),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
+// spreadDecades reads the 2nd/98th percentiles straight off an
+// already-sorted slice via the stats fast path (no copy-and-sort).
 func spreadDecades(sorted []float64) float64 {
-	e := stats.MustEmpirical(sorted)
-	lo := e.MustQuantile(0.02)
-	hi := e.MustQuantile(0.98)
+	lo, err := stats.QuantileSorted(sorted, 0.02)
+	if err != nil {
+		return 0
+	}
+	hi, _ := stats.QuantileSorted(sorted, 0.98)
 	if lo < 1 {
 		lo = 1
 	}
@@ -179,18 +192,13 @@ type Table2Result struct {
 	PartialOverlap         int
 }
 
-// Table2 computes the best-user lists.
+// Table2 computes the best-user lists from the workspace's memoized
+// distributions and cached threshold configurations.
 func Table2(e *Enterprise, cfg ExperimentConfig) (*Table2Result, error) {
+	ws := e.workspace()
 	best := func(f features.Feature, g core.Grouping) ([]int, error) {
-		train := make([]*stats.Empirical, e.Users())
-		for u := range train {
-			d, err := e.Distribution(u, f, cfg.TrainWeek)
-			if err != nil {
-				return nil, err
-			}
-			train[u] = d
-		}
-		asn, err := core.Configure(train, core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: g}, nil)
+		pol := core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: g}
+		asn, err := ws.Assignment(f, cfg.TrainWeek, pol, nil, "")
 		if err != nil {
 			return nil, err
 		}
@@ -246,29 +254,63 @@ func sweepOverlay(bins int, sweep []float64) []float64 {
 
 // evalPolicies runs the three grouping policies under one heuristic
 // with the standard sweep attack and returns their results in
-// Policies order.
+// Policies order. Results are memoized in the workspace (keyed by
+// every parameter that feeds them), the three policies evaluate in
+// parallel, and each evaluation reuses the cached train
+// distributions, attack sweep and threshold configuration instead of
+// re-deriving them.
 func evalPolicies(e *Enterprise, cfg ExperimentConfig, h core.Heuristic) ([]*core.EvalResult, error) {
-	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
-	sweep := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
-	overlay := make([][]float64, len(test))
-	for u := range overlay {
-		overlay[u] = sweepOverlay(len(test[u]), sweep)
-	}
-	var out []*core.EvalResult
-	for _, pol := range Policies(h) {
-		res, err := core.EvaluatePolicy(core.EvalInput{
-			Train:            train,
-			Test:             test,
-			Attack:           overlay,
-			AttackMagnitudes: sweep,
-			Policy:           pol,
+	return evalPoliciesWS(e, cfg, h, true)
+}
+
+func evalPoliciesWS(e *Enterprise, cfg ExperimentConfig, h core.Heuristic, withAttack bool) ([]*core.EvalResult, error) {
+	ws := e.workspace()
+	key := fmt.Sprintf("evalPolicies/%d/%d/%d/%s/%d/%t",
+		int(cfg.Feature), cfg.TrainWeek, cfg.TestWeek, h.Name(), cfg.SweepPoints, withAttack)
+	v, err := ws.Memo(key, func() (any, error) {
+		test := ws.Raw(cfg.Feature, cfg.TestWeek)
+		sweep := ws.Sweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
+		var overlay [][]float64
+		if withAttack {
+			// Every user has the same bin count, so one overlay serves
+			// the whole population.
+			shared := sweepOverlay(ws.BinsPerWeek(), sweep)
+			overlay = make([][]float64, len(test))
+			for u := range overlay {
+				overlay[u] = shared
+			}
+		}
+		sweepKey := fmt.Sprintf("sp%d", cfg.SweepPoints)
+		pols := Policies(h)
+		out := make([]*core.EvalResult, len(pols))
+		err := par.ForEachErr(len(pols), 0, func(p int) error {
+			pol := pols[p]
+			asn, err := ws.Assignment(cfg.Feature, cfg.TrainWeek, pol, sweep, sweepKey)
+			if err != nil {
+				return fmt.Errorf("repro: policy %s: %w", pol.Name(), err)
+			}
+			res, err := core.EvaluatePolicy(core.EvalInput{
+				Test:             test,
+				Attack:           overlay,
+				AttackMagnitudes: sweep,
+				Policy:           pol,
+				Assignment:       asn,
+			})
+			if err != nil {
+				return fmt.Errorf("repro: policy %s: %w", pol.Name(), err)
+			}
+			out[p] = res
+			return nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("repro: policy %s: %w", pol.Name(), err)
+			return nil, err
 		}
-		out = append(out, res)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return v.([]*core.EvalResult), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -396,24 +438,17 @@ type Table3Result struct {
 // w=0.4) over the three policies. False alarms are counted on the
 // benign test week alone, as the console would see them.
 func Table3(e *Enterprise, cfg ExperimentConfig) (*Table3Result, error) {
-	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
-	sweep := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
 	res := &Table3Result{}
 	for _, h := range []core.Heuristic{
 		core.Percentile{Q: 0.99},
 		core.UtilityOptimal{W: cfg.UtilityW},
 	} {
+		results, err := evalPoliciesWS(e, cfg, h, false)
+		if err != nil {
+			return nil, err
+		}
 		var row [3]int
-		for p, pol := range Policies(h) {
-			r, err := core.EvaluatePolicy(core.EvalInput{
-				Train:            train,
-				Test:             test,
-				AttackMagnitudes: sweep,
-				Policy:           pol,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for p, r := range results {
 			row[p] = r.TotalFalseAlarms()
 		}
 		res.HeuristicNames = append(res.HeuristicNames, h.Name())
@@ -451,24 +486,18 @@ type Fig4aResult struct {
 // week on every host; a user "raises an alarm" if any attacked
 // window alarms. Detection is averaged over several attack days.
 func Fig4a(e *Enterprise, cfg ExperimentConfig) (*Fig4aResult, error) {
-	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
-	sweep := e.AttackSweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
-	res := &Fig4aResult{Sizes: sweep}
-	binsPerDay := e.Matrix(0).BinsPerWeek() / 7
+	ws := e.workspace()
+	test := ws.Raw(cfg.Feature, cfg.TestWeek)
+	sweep := ws.Sweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
+	res := &Fig4aResult{Sizes: append([]float64(nil), sweep...)}
+	binsPerDay := ws.BinsPerWeek() / 7
 
-	// Precompute the three assignments once (thresholds don't depend
-	// on the attack).
-	trainDists := make([]*stats.Empirical, len(train))
-	for u := range train {
-		d, err := stats.NewEmpirical(train[u])
-		if err != nil {
-			return nil, err
-		}
-		trainDists[u] = d
-	}
+	// The three assignments are cached in the workspace. Percentile
+	// heuristics ignore attack magnitudes, so the nil-sweep cache key
+	// shares the entries Fig4b and Fig5 configure.
 	var assigns []*core.Assignment
 	for _, pol := range Policies(core.Percentile{Q: 0.99}) {
-		asn, err := core.Configure(trainDists, pol, sweep)
+		asn, err := ws.Assignment(cfg.Feature, cfg.TrainWeek, pol, nil, "")
 		if err != nil {
 			return nil, err
 		}
@@ -478,30 +507,34 @@ func Fig4a(e *Enterprise, cfg ExperimentConfig) (*Fig4aResult, error) {
 
 	attackDays := []int{1, 2, 3} // Tue, Wed, Thu of the test week
 	res.Fraction = make([][]float64, len(assigns))
-	for p, asn := range assigns {
+	for p := range assigns {
 		res.Fraction[p] = make([]float64, len(sweep))
-		for k, size := range sweep {
-			var total float64
-			for _, day := range attackDays {
-				alarming := 0
-				for u := range test {
-					from := day * binsPerDay
-					to := from + binsPerDay
-					detected := false
-					for b := from; b < to && !detected; b++ {
-						if test[u][b]+size > asn.Thresholds[u] {
-							detected = true
-						}
-					}
-					if detected {
-						alarming++
+	}
+	// Fan the (policy, attack size) grid out over the worker pool;
+	// every cell touches only its own slot.
+	par.ForEach(len(assigns)*len(sweep), 0, func(i int) {
+		p, k := i/len(sweep), i%len(sweep)
+		asn, size := assigns[p], sweep[k]
+		var total float64
+		for _, day := range attackDays {
+			alarming := 0
+			for u := range test {
+				from := day * binsPerDay
+				to := from + binsPerDay
+				detected := false
+				for b := from; b < to && !detected; b++ {
+					if test[u][b]+size > asn.Thresholds[u] {
+						detected = true
 					}
 				}
-				total += float64(alarming) / float64(len(test))
+				if detected {
+					alarming++
+				}
 			}
-			res.Fraction[p][k] = total / float64(len(attackDays))
+			total += float64(alarming) / float64(len(test))
 		}
-	}
+		res.Fraction[p][k] = total / float64(len(attackDays))
+	})
 	return res, nil
 }
 
@@ -540,31 +573,25 @@ type Fig4bResult struct {
 // host's test-week distribution and sends the largest volume that
 // evades detection with probability EvadeProb.
 func Fig4b(e *Enterprise, cfg ExperimentConfig) (*Fig4bResult, error) {
-	train, test := e.TrainTest(cfg.Feature, cfg.TrainWeek, cfg.TestWeek)
-	trainDists := make([]*stats.Empirical, len(train))
-	testDists := make([]*stats.Empirical, len(test))
-	for u := range train {
-		var err error
-		if trainDists[u], err = stats.NewEmpirical(train[u]); err != nil {
-			return nil, err
-		}
-		if testDists[u], err = stats.NewEmpirical(test[u]); err != nil {
-			return nil, err
-		}
-	}
+	ws := e.workspace()
+	testDists := ws.Dists(cfg.Feature, cfg.TestWeek)
 	res := &Fig4bResult{}
 	for _, pol := range Policies(core.Percentile{Q: 0.99}) {
-		asn, err := core.Configure(trainDists, pol, nil)
+		asn, err := ws.Assignment(cfg.Feature, cfg.TrainWeek, pol, nil, "")
 		if err != nil {
 			return nil, err
 		}
-		hidden := make([]float64, len(test))
-		for u := range hidden {
+		hidden := make([]float64, len(testDists))
+		err = par.ForEachErr(len(hidden), 0, func(u int) error {
 			h, err := attack.HiddenTraffic(testDists[u], asn.Thresholds[u], cfg.EvadeProb)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			hidden[u] = h
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		bp, err := stats.NewBoxplot(hidden)
 		if err != nil {
@@ -615,51 +642,60 @@ type Fig5Result struct {
 	Points      [2][]Fig5Point
 }
 
-// fig5 evaluates two groupings against the Storm overlay.
+// fig5 evaluates two groupings against the Storm overlay. The Storm
+// synthesis is memoized per (bins, seed), the thresholds come from
+// the workspace's assignment cache, and the per-user scoring fans
+// out over the worker pool.
 func fig5(e *Enterprise, cfg ExperimentConfig, groupings [2]core.Grouping) (*Fig5Result, error) {
 	f := features.Distinct // the paper's Fig 5 feature
-	train, test := e.TrainTest(f, cfg.TrainWeek, cfg.TestWeek)
-	bins := len(test[0])
-	bot, err := attack.NewStorm(attack.StormConfig{
-		Bins:     bins,
-		BinWidth: e.Matrix(0).BinWidth,
-		Seed:     cfg.Seed,
+	ws := e.workspace()
+	test := ws.Raw(f, cfg.TestWeek)
+	bins := ws.BinsPerWeek()
+	ov, err := ws.Memo(fmt.Sprintf("storm/%d/%d", bins, cfg.Seed), func() (any, error) {
+		bot, err := attack.NewStorm(attack.StormConfig{
+			Bins:     bins,
+			BinWidth: ws.BinWidth(),
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return bot.Overlay().Overlay, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	overlay := bot.Overlay().Overlay
+	overlay := ov.([]float64)
 
-	trainDists := make([]*stats.Empirical, len(train))
-	for u := range train {
-		if trainDists[u], err = stats.NewEmpirical(train[u]); err != nil {
-			return nil, err
-		}
-	}
 	res := &Fig5Result{}
 	for i, g := range groupings {
 		pol := core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: g}
-		asn, err := core.Configure(trainDists, pol, nil)
+		asn, err := ws.Assignment(f, cfg.TrainWeek, pol, nil, "")
 		if err != nil {
 			return nil, err
 		}
 		res.PolicyNames[i] = pol.Name()
-		for u := range test {
+		res.Points[i] = make([]Fig5Point, len(test))
+		err = par.ForEachErr(len(test), 0, func(u int) error {
 			// FP on the clean test week; FN on the overlaid week, in
 			// which every window is attacked (the bot never sleeps).
 			fpConf, err := core.Evaluate(test[u], nil, asn.Thresholds[u])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fnConf, err := core.Evaluate(test[u], overlay, asn.Thresholds[u])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Points[i] = append(res.Points[i], Fig5Point{
+			res.Points[i][u] = Fig5Point{
 				User:          u,
 				FP:            fpConf.FalsePositiveRate(),
 				DetectionRate: fnConf.Recall(),
-			})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	return res, nil

@@ -1,0 +1,310 @@
+// Package analysis is the columnar read path of the experiment
+// engine: a Workspace computed once per enterprise that every runner
+// (Fig 1 … Fig 5b, Table 2, Table 3) shares.
+//
+// The paper's evaluation re-reads the same feature matrices over and
+// over — per-user, per-week quantiles for Fig 1, train/test series
+// for every policy of Fig 3/4/5, attack sweeps for each figure. The
+// seed implementation rebuilt those inputs on every call: each
+// TailStats re-copied and re-sorted a column per (feature, quantile)
+// pair, every evalPolicies re-derived the train/test split and
+// re-configured thresholds per policy. The workspace replaces that
+// with pre-sorted columnar views and memoized derived artifacts:
+//
+//   - Raw(f, w): per-user time-ordered columns of one feature-week,
+//     extracted once, shared by every evaluation loop;
+//   - Sorted(f, w) / Dists(f, w): the same columns pre-sorted with
+//     stats.Empirical views adopting the sorted slices zero-copy
+//     (stats.NewEmpiricalFromSorted), so quantile/CDF queries hit the
+//     stats fast path with no per-call allocation;
+//   - TailStats / Sweep / Assignment / Memo: memoized quantile
+//     vectors, attack sweeps, threshold configurations and arbitrary
+//     derived artifacts keyed by their parameters.
+//
+// Everything returned by a Workspace is shared and must be treated
+// as read-only; all methods are safe for concurrent use.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// Workspace holds the per-enterprise columnar cache. Construct with
+// New; the zero value is not usable.
+type Workspace struct {
+	matrices    []*features.Matrix
+	users       int
+	weeks       int
+	binsPerWeek int
+	binWidth    time.Duration
+
+	// blocks[w*NumFeatures+f] is the lazily built columnar view of
+	// one (feature, week); blockOnce guards each build.
+	blocks    []*block
+	blockOnce []sync.Once
+
+	mu   sync.Mutex
+	memo map[string]*memoCell
+}
+
+// block is the columnar view of one (feature, week): every user's
+// time-ordered column, the sorted counterpart, and an Empirical
+// adopting the sorted slice.
+type block struct {
+	raw    [][]float64
+	sorted [][]float64
+	dists  []*stats.Empirical
+}
+
+type memoCell struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// New builds a workspace over fully materialized per-user matrices.
+// All matrices must share the same geometry and cover at least one
+// complete week; New panics otherwise (the enterprise constructor
+// guarantees this, so a violation is a programming error).
+func New(matrices []*features.Matrix) *Workspace {
+	if len(matrices) == 0 {
+		panic("analysis: empty population")
+	}
+	m0 := matrices[0]
+	weeks := m0.Weeks()
+	if weeks < 1 {
+		panic("analysis: matrices cover no complete week")
+	}
+	for u, m := range matrices {
+		if m == nil || m.Bins() != m0.Bins() || m.BinWidth != m0.BinWidth {
+			panic(fmt.Sprintf("analysis: user %d matrix geometry differs from user 0", u))
+		}
+	}
+	nBlocks := weeks * features.NumFeatures
+	return &Workspace{
+		matrices:    matrices,
+		users:       len(matrices),
+		weeks:       weeks,
+		binsPerWeek: m0.BinsPerWeek(),
+		binWidth:    m0.BinWidth,
+		blocks:      make([]*block, nBlocks),
+		blockOnce:   make([]sync.Once, nBlocks),
+		memo:        make(map[string]*memoCell),
+	}
+}
+
+// Users returns the population size.
+func (w *Workspace) Users() int { return w.users }
+
+// Weeks returns the number of complete weeks covered.
+func (w *Workspace) Weeks() int { return w.weeks }
+
+// BinsPerWeek returns the number of aggregation windows per week.
+func (w *Workspace) BinsPerWeek() int { return w.binsPerWeek }
+
+// BinWidth returns the aggregation window width.
+func (w *Workspace) BinWidth() time.Duration { return w.binWidth }
+
+// Warm eagerly builds every (feature, week) columnar block in one
+// parallel pass. Enterprise.Materialize calls this so that all
+// subsequent analysis runs from the cache.
+func (w *Workspace) Warm() {
+	for week := 0; week < w.weeks; week++ {
+		for _, f := range features.All() {
+			w.ensureBlock(f, week)
+		}
+	}
+}
+
+func (w *Workspace) blockIndex(f features.Feature, week int) int {
+	if !f.Valid() {
+		panic(fmt.Sprintf("analysis: invalid feature %d", int(f)))
+	}
+	if week < 0 || week >= w.weeks {
+		panic(fmt.Sprintf("analysis: week %d outside [0, %d)", week, w.weeks))
+	}
+	return week*features.NumFeatures + int(f)
+}
+
+// ensureBlock builds the columnar view of one (feature, week) on
+// first use, fanning the per-user extract-and-sort over all CPUs.
+func (w *Workspace) ensureBlock(f features.Feature, week int) *block {
+	idx := w.blockIndex(f, week)
+	w.blockOnce[idx].Do(func() {
+		b := &block{
+			raw:    make([][]float64, w.users),
+			sorted: make([][]float64, w.users),
+			dists:  make([]*stats.Empirical, w.users),
+		}
+		par.ForEach(w.users, 0, func(u int) {
+			m := w.matrices[u]
+			lo, hi := m.WeekRange(week)
+			raw := m.ColumnSlice(f, lo, hi)
+			sorted := append([]float64(nil), raw...)
+			sort.Float64s(sorted)
+			d, err := stats.NewEmpiricalFromSorted(sorted)
+			if err != nil {
+				// Matrices are counters: never NaN, never empty for a
+				// complete week. Reaching here is a corrupted matrix.
+				panic(fmt.Sprintf("analysis: user %d %s week %d: %v", u, f, week, err))
+			}
+			b.raw[u] = raw
+			b.sorted[u] = sorted
+			b.dists[u] = d
+		})
+		w.blocks[idx] = b
+	})
+	return w.blocks[idx]
+}
+
+// Raw returns every user's time-ordered column of one feature-week.
+// The slices are shared: callers must not modify them.
+func (w *Workspace) Raw(f features.Feature, week int) [][]float64 {
+	return w.ensureBlock(f, week).raw
+}
+
+// RawUser returns one user's time-ordered column (shared, read-only).
+func (w *Workspace) RawUser(u int, f features.Feature, week int) []float64 {
+	return w.ensureBlock(f, week).raw[u]
+}
+
+// Sorted returns every user's pre-sorted column of one feature-week
+// (shared, read-only) — the input shape of the stats fast path.
+func (w *Workspace) Sorted(f features.Feature, week int) [][]float64 {
+	return w.ensureBlock(f, week).sorted
+}
+
+// Dists returns every user's memoized empirical distribution of one
+// feature-week. The distributions share the workspace's sorted
+// columns (zero-copy) and are safe for concurrent use.
+func (w *Workspace) Dists(f features.Feature, week int) []*stats.Empirical {
+	return w.ensureBlock(f, week).dists
+}
+
+// Dist returns one user's memoized distribution.
+func (w *Workspace) Dist(u int, f features.Feature, week int) *stats.Empirical {
+	return w.ensureBlock(f, week).dists[u]
+}
+
+// Memo returns the value of fn memoized under key. The first caller
+// computes; concurrent callers of the same key block until the value
+// is ready; errors are memoized too. The returned value is shared —
+// callers must treat it as read-only.
+func (w *Workspace) Memo(key string, fn func() (any, error)) (any, error) {
+	w.mu.Lock()
+	cell, ok := w.memo[key]
+	if !ok {
+		cell = &memoCell{}
+		w.memo[key] = cell
+	}
+	w.mu.Unlock()
+	cell.once.Do(func() { cell.val, cell.err = fn() })
+	return cell.val, cell.err
+}
+
+// TailStats returns every user's q-quantile of one feature-week in
+// user order — the per-user thresholds Fig 1 plots — computed once
+// from the pre-sorted columns and memoized. The returned slice is
+// shared and must not be modified.
+func (w *Workspace) TailStats(f features.Feature, week int, q float64) ([]float64, error) {
+	key := fmt.Sprintf("tail/%d/%d/%g", int(f), week, q)
+	v, err := w.Memo(key, func() (any, error) {
+		sorted := w.Sorted(f, week)
+		out := make([]float64, w.users)
+		err := par.ForEachErr(w.users, 0, func(u int) error {
+			t, err := stats.QuantileSorted(sorted[u], q)
+			if err != nil {
+				return fmt.Errorf("analysis: user %d %s: %w", u, f, err)
+			}
+			out[u] = t
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]float64), nil
+}
+
+// Sweep returns the memoized attack-size sweep for one feature and
+// training week: n geometrically spaced sizes from 1 up to the
+// maximum feature value any user exhibits in that week (§6.1). The
+// maximum is read off the pre-sorted columns in O(users). The
+// returned slice is shared and must not be modified.
+func (w *Workspace) Sweep(f features.Feature, trainWeek, n int) []float64 {
+	key := fmt.Sprintf("sweep/%d/%d/%d", int(f), trainWeek, n)
+	v, _ := w.Memo(key, func() (any, error) {
+		sorted := w.Sorted(f, trainWeek)
+		var max float64
+		for u := 0; u < w.users; u++ {
+			if col := sorted[u]; len(col) > 0 {
+				if v := col[len(col)-1]; v > max {
+					max = v
+				}
+			}
+		}
+		if max < 2 {
+			max = 2
+		}
+		return GeomSpace(1, max, n), nil
+	})
+	return v.([]float64)
+}
+
+// Assignment returns the memoized threshold configuration of one
+// policy on one feature's training week. sweepKey must uniquely
+// identify the attack-magnitude input (use "" for nil magnitudes):
+// the cache key is (feature, week, policy name, sweepKey). The
+// returned assignment is shared and must not be modified.
+func (w *Workspace) Assignment(f features.Feature, trainWeek int, pol core.Policy, attack []float64, sweepKey string) (*core.Assignment, error) {
+	key := fmt.Sprintf("asn/%d/%d/%s/%s", int(f), trainWeek, pol.Name(), sweepKey)
+	v, err := w.Memo(key, func() (any, error) {
+		return core.Configure(w.Dists(f, trainWeek), pol, attack)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Assignment), nil
+}
+
+// GeomSpace returns n geometrically spaced values over [lo, hi],
+// guarding the degenerate inputs that used to yield NaN/Inf
+// magnitudes (empty training weeks drive hi to 0): non-positive or
+// non-finite bounds are clamped so the result is always finite and
+// non-decreasing.
+func GeomSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || math.IsNaN(lo) || math.IsInf(lo, 0) {
+		lo = 1
+	}
+	if hi <= lo || math.IsNaN(hi) || math.IsInf(hi, 0) {
+		hi = lo
+	}
+	if n < 2 {
+		return []float64{hi}
+	}
+	out := make([]float64, n)
+	if hi == lo {
+		for i := range out {
+			out[i] = lo
+		}
+		return out
+	}
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+)
+
+// testMatrices builds a small deterministic population: user u's
+// feature f value in bin b is a simple mix of all three indices.
+func testMatrices(users, weeks int) []*features.Matrix {
+	const binWidth = 6 * time.Hour // 28 bins/week keeps the test fast
+	bpw := int((7 * 24 * time.Hour) / binWidth)
+	out := make([]*features.Matrix, users)
+	for u := 0; u < users; u++ {
+		m := features.NewMatrix(binWidth, 0, weeks*bpw)
+		for b := range m.Rows {
+			for f := 0; f < features.NumFeatures; f++ {
+				m.Rows[b][f] = float64((u+1)*(f+2)*((b*7)%13) % 101)
+			}
+		}
+		out[u] = m
+	}
+	return out
+}
+
+func TestWorkspaceColumnsMatchMatrix(t *testing.T) {
+	ms := testMatrices(5, 2)
+	ws := New(ms)
+	if ws.Users() != 5 || ws.Weeks() != 2 {
+		t.Fatalf("geometry: %d users, %d weeks", ws.Users(), ws.Weeks())
+	}
+	for week := 0; week < 2; week++ {
+		raw := ws.Raw(features.TCP, week)
+		sorted := ws.Sorted(features.TCP, week)
+		dists := ws.Dists(features.TCP, week)
+		for u, m := range ms {
+			lo, hi := m.WeekRange(week)
+			want := m.ColumnSlice(features.TCP, lo, hi)
+			if len(raw[u]) != len(want) {
+				t.Fatalf("user %d raw length %d != %d", u, len(raw[u]), len(want))
+			}
+			for b := range want {
+				if raw[u][b] != want[b] {
+					t.Fatalf("user %d bin %d: raw %g != %g", u, b, raw[u][b], want[b])
+				}
+			}
+			// Sorted view is a permutation with the same quantiles as a
+			// freshly built distribution.
+			ref, err := stats.NewEmpirical(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+				got, err := stats.QuantileSorted(sorted[u], q)
+				if err != nil || got != ref.MustQuantile(q) {
+					t.Fatalf("user %d q%g: %g != %g (%v)", u, q, got, ref.MustQuantile(q), err)
+				}
+				if dv := dists[u].MustQuantile(q); dv != ref.MustQuantile(q) {
+					t.Fatalf("user %d dist q%g: %g != %g", u, q, dv, ref.MustQuantile(q))
+				}
+			}
+		}
+	}
+	// Memoized: same backing arrays on the second call.
+	if &ws.Raw(features.TCP, 0)[0][0] != &ws.Raw(features.TCP, 0)[0][0] {
+		t.Fatal("Raw not cached")
+	}
+}
+
+func TestWorkspaceTailStats(t *testing.T) {
+	ms := testMatrices(4, 1)
+	ws := New(ms)
+	tails, err := ws.TailStats(features.UDP, 0, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tails) != 4 {
+		t.Fatalf("%d tails", len(tails))
+	}
+	for u, m := range ms {
+		lo, hi := m.WeekRange(0)
+		d, _ := m.Distribution(features.UDP, lo, hi)
+		if want := d.MustQuantile(0.99); tails[u] != want {
+			t.Fatalf("user %d: %g != %g", u, tails[u], want)
+		}
+	}
+	again, _ := ws.TailStats(features.UDP, 0, 0.99)
+	if &again[0] != &tails[0] {
+		t.Fatal("TailStats not memoized")
+	}
+}
+
+func TestWorkspaceSweep(t *testing.T) {
+	ms := testMatrices(3, 1)
+	ws := New(ms)
+	sweep := ws.Sweep(features.TCP, 0, 10)
+	if len(sweep) != 10 || sweep[0] != 1 {
+		t.Fatalf("sweep = %v", sweep)
+	}
+	var max float64
+	for _, m := range ms {
+		lo, hi := m.WeekRange(0)
+		for b := lo; b < hi; b++ {
+			if v := m.Rows[b][features.TCP]; v > max {
+				max = v
+			}
+		}
+	}
+	if math.Abs(sweep[len(sweep)-1]-max) > 1e-9*max {
+		t.Fatalf("sweep max %g != population max %g", sweep[len(sweep)-1], max)
+	}
+	if again := ws.Sweep(features.TCP, 0, 10); &again[0] != &sweep[0] {
+		t.Fatal("Sweep not memoized")
+	}
+}
+
+func TestWorkspaceAssignmentMemoized(t *testing.T) {
+	ws := New(testMatrices(6, 1))
+	pol := core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: core.FullDiversity{}}
+	a1, err := ws.Assignment(features.TCP, 0, pol, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ws.Assignment(features.TCP, 0, pol, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("Assignment not memoized")
+	}
+	// A different policy must get its own cache slot.
+	other, err := ws.Assignment(features.TCP, 0,
+		core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: core.Homogeneous{}}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a1 {
+		t.Fatal("distinct policies share a cache entry")
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	ws := New(testMatrices(2, 1))
+	var calls int
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := ws.Memo("k", func() (any, error) {
+				calls++ // safe: Memo guarantees exactly one invocation
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				panic("memo value wrong")
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("memoized fn called %d times", calls)
+	}
+}
+
+func TestGeomSpaceGuards(t *testing.T) {
+	// The degenerate inputs that used to produce NaN/Inf.
+	for _, tc := range []struct{ lo, hi float64 }{
+		{0, 100}, {-5, 100}, {1, 0}, {1, 1}, {0, 0},
+		{math.NaN(), 10}, {1, math.NaN()}, {1, math.Inf(1)},
+	} {
+		out := GeomSpace(tc.lo, tc.hi, 8)
+		if len(out) != 8 {
+			t.Fatalf("GeomSpace(%g,%g) length %d", tc.lo, tc.hi, len(out))
+		}
+		for i, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("GeomSpace(%g,%g)[%d] = %g", tc.lo, tc.hi, i, v)
+			}
+			if i > 0 && v < out[i-1] {
+				t.Fatalf("GeomSpace(%g,%g) decreasing at %d: %v", tc.lo, tc.hi, i, out)
+			}
+		}
+	}
+	// The healthy path is unchanged.
+	v := GeomSpace(1, 100, 3)
+	for i, want := range []float64{1, 10, 100} {
+		if math.Abs(v[i]-want) > 1e-9 {
+			t.Fatalf("GeomSpace(1,100,3) = %v", v)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/features"
@@ -127,17 +128,20 @@ func (s *Server) handle(conn net.Conn) error {
 		return err
 	}
 	sc := &serverConn{hostID: hello.HostID, conn: conn}
-	s.mu.Lock()
-	if _, dup := s.conns[hello.HostID]; dup {
-		s.mu.Unlock()
+	if err := s.register(sc); err != nil {
 		_ = WriteMsg(conn, MsgError, ProtoError{Message: "duplicate host id"})
-		return fmt.Errorf("duplicate host %d", hello.HostID)
+		return err
 	}
-	s.conns[hello.HostID] = sc
-	if _, ok := s.dists[hello.HostID]; !ok {
-		s.dists[hello.HostID] = &[features.NumFeatures][]float64{}
-		s.hostOrder = append(s.hostOrder, hello.HostID)
-	}
+	// Registered: from here on, this handler owns the conns entry and
+	// must remove it on any exit, or the host could never reconnect.
+	defer func() {
+		s.mu.Lock()
+		if s.conns[hello.HostID] == sc {
+			delete(s.conns, hello.HostID)
+		}
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
 	alreadyPushed := s.pushed
 	s.mu.Unlock()
 	if err := sc.send(MsgAck, Ack{}); err != nil {
@@ -150,12 +154,6 @@ func (s *Server) handle(conn net.Conn) error {
 			return err
 		}
 	}
-
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, hello.HostID)
-		s.mu.Unlock()
-	}()
 
 	for {
 		t, body, err := ReadMsg(conn)
@@ -195,6 +193,32 @@ func (s *Server) handle(conn net.Conn) error {
 			_ = sc.send(MsgError, ProtoError{Message: "unexpected " + t.String()})
 			return fmt.Errorf("unexpected message %s from host %d", t, hello.HostID)
 		}
+	}
+}
+
+// register claims the conns slot for sc's host. A reconnecting agent
+// can arrive before the handler of its previous (closed) connection
+// has observed EOF and cleaned up, so an occupied slot is retried
+// briefly; only a slot still held after the grace period is a genuine
+// concurrent duplicate and rejected.
+func (s *Server) register(sc *serverConn) error {
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for {
+		s.mu.Lock()
+		if _, dup := s.conns[sc.hostID]; !dup {
+			s.conns[sc.hostID] = sc
+			if _, ok := s.dists[sc.hostID]; !ok {
+				s.dists[sc.hostID] = &[features.NumFeatures][]float64{}
+				s.hostOrder = append(s.hostOrder, sc.hostID)
+			}
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			return fmt.Errorf("duplicate host %d", sc.hostID)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -10,8 +11,15 @@ import (
 // feature, following the paper's methodology (§6.1): thresholds are
 // learned on a training week and applied to the following test week.
 type EvalInput struct {
-	// Train holds each user's training-week feature series.
+	// Train holds each user's training-week feature series. It may be
+	// nil when TrainDists or Assignment is supplied instead.
 	Train [][]float64
+	// TrainDists optionally supplies pre-built training
+	// distributions, skipping the per-call copy-and-sort of Train.
+	// The analysis workspace passes its memoized per-user
+	// distributions here. When set, Train is ignored for
+	// configuration (Test still defines the population size).
+	TrainDists []*stats.Empirical
 	// Test holds each user's test-week feature series (same user
 	// order as Train).
 	Test [][]float64
@@ -26,6 +34,14 @@ type EvalInput struct {
 	AttackMagnitudes []float64
 	// Policy is the configuration policy under evaluation.
 	Policy Policy
+	// Assignment optionally supplies a pre-configured assignment
+	// (e.g. a cached one); when set, Configure is skipped entirely
+	// and Policy is only used for labeling.
+	Assignment *Assignment
+	// Workers bounds the per-user scoring fan-out; < 1 means one
+	// worker per CPU. Results are deterministic regardless of the
+	// worker count.
+	Workers int
 }
 
 // EvalResult is the outcome of one policy evaluation.
@@ -36,37 +52,58 @@ type EvalResult struct {
 	Points []OperatingPoint
 }
 
-// EvaluatePolicy learns thresholds on Train with the policy and
-// scores them on Test (+Attack).
+// EvaluatePolicy learns thresholds on Train with the policy (or
+// adopts a pre-configured Assignment) and scores them on Test
+// (+Attack). The per-user scoring loop fans out over a bounded
+// worker pool; each worker writes only its own user's slot, so the
+// result is identical to the serial evaluation.
 func EvaluatePolicy(in EvalInput) (*EvalResult, error) {
-	n := len(in.Train)
-	if n == 0 || len(in.Test) != n {
-		return nil, fmt.Errorf("core: train/test population mismatch: %d vs %d", n, len(in.Test))
+	n := len(in.Test)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty test population")
 	}
 	if in.Attack != nil && len(in.Attack) != n {
 		return nil, fmt.Errorf("core: attack population %d != %d", len(in.Attack), n)
 	}
-	dists := make([]*stats.Empirical, n)
-	for i, tr := range in.Train {
-		d, err := stats.NewEmpirical(tr)
-		if err != nil {
-			return nil, fmt.Errorf("core: user %d training series: %w", i, err)
+	asn := in.Assignment
+	if asn == nil {
+		dists := in.TrainDists
+		if dists == nil {
+			if len(in.Train) != n {
+				return nil, fmt.Errorf("core: train/test population mismatch: %d vs %d", len(in.Train), n)
+			}
+			dists = make([]*stats.Empirical, n)
+			err := par.ForEachErr(n, in.Workers, func(i int) error {
+				d, err := stats.NewEmpirical(in.Train[i])
+				if err != nil {
+					return fmt.Errorf("core: user %d training series: %w", i, err)
+				}
+				dists[i] = d
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else if len(dists) != n {
+			return nil, fmt.Errorf("core: train/test population mismatch: %d vs %d", len(dists), n)
 		}
-		dists[i] = d
+		var err error
+		if asn, err = Configure(dists, in.Policy, in.AttackMagnitudes); err != nil {
+			return nil, err
+		}
 	}
-	asn, err := Configure(dists, in.Policy, in.AttackMagnitudes)
-	if err != nil {
-		return nil, err
+	if len(asn.Thresholds) != n {
+		return nil, fmt.Errorf("core: assignment covers %d users, test has %d", len(asn.Thresholds), n)
 	}
 	res := &EvalResult{Assignment: asn, Points: make([]OperatingPoint, n)}
-	for i := range in.Test {
+	err := par.ForEachErr(n, in.Workers, func(i int) error {
 		var attack []float64
 		if in.Attack != nil {
 			attack = in.Attack[i]
 		}
 		conf, err := Evaluate(in.Test[i], attack, asn.Thresholds[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: user %d: %w", i, err)
+			return fmt.Errorf("core: user %d: %w", i, err)
 		}
 		res.Points[i] = OperatingPoint{
 			User:      i,
@@ -75,6 +112,10 @@ func EvaluatePolicy(in EvalInput) (*EvalResult, error) {
 			FN:        conf.FalseNegativeRate(),
 			Confusion: conf,
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -115,10 +115,11 @@ func optimizeOverCandidates(train *stats.Empirical, attack []float64, score func
 	if len(attack) == 0 {
 		return 0, fmt.Errorf("core: objective-optimizing heuristic requires attack magnitudes")
 	}
-	samples := train.Samples()
-	candSet := make(map[float64]struct{}, len(samples)*2)
-	for _, s := range samples {
-		candSet[s] = struct{}{}
+	// Iterate by index: Samples() would allocate a defensive copy on
+	// every Configure call in the hot path.
+	candSet := make(map[float64]struct{}, train.N()*2)
+	for i := 0; i < train.N(); i++ {
+		candSet[train.At(i)] = struct{}{}
 	}
 	// Attack-shifted quantile points matter when attacks are larger
 	// than the benign range; add a coarse set to keep this O(n).

@@ -54,10 +54,30 @@ func NewTracker(local netsim.Addr, binWidth time.Duration, startMicros int64) (*
 
 func (t *Tracker) resetBin() {
 	t.curCounts = features.Counts{}
-	t.seenTCP = make(map[netsim.FlowKey]struct{})
-	t.seenUDP = make(map[netsim.FlowKey]struct{})
-	t.seenDNS = make(map[netsim.FlowKey]struct{})
-	t.seenDest = make(map[netsim.Addr]struct{})
+	if t.seenTCP == nil {
+		t.seenTCP = make(map[netsim.FlowKey]struct{})
+		t.seenUDP = make(map[netsim.FlowKey]struct{})
+		t.seenDNS = make(map[netsim.FlowKey]struct{})
+		t.seenDest = make(map[netsim.Addr]struct{})
+		return
+	}
+	// Reuse the per-bin dedup maps across bins: clearing keeps the
+	// allocated buckets, so a long capture stops churning the
+	// allocator once it has seen its busiest window.
+	clear(t.seenTCP)
+	clear(t.seenUDP)
+	clear(t.seenDNS)
+	clear(t.seenDest)
+}
+
+// Reserve pre-allocates the finished-bin buffer for a capture of the
+// given length, so Observe's bin-advance loop never regrows it.
+func (t *Tracker) Reserve(bins int) {
+	if bins > cap(t.finished) {
+		grown := make([]features.Counts, len(t.finished), bins)
+		copy(grown, t.finished)
+		t.finished = grown
+	}
 }
 
 // ErrOutOfOrder is wrapped into errors returned for records whose
@@ -135,15 +155,21 @@ func (t *Tracker) Finish(totalBins int) (*features.Matrix, error) {
 	if t.cur >= totalBins && t.curCounts != empty {
 		return nil, fmt.Errorf("flows: observed activity in bin %d beyond requested %d bins", t.cur, totalBins)
 	}
-	m := features.NewMatrix(time.Duration(t.binWidth)*time.Microsecond, t.startMicros, totalBins)
-	for b, c := range t.finished {
-		if b >= totalBins {
-			if c != empty {
-				return nil, fmt.Errorf("flows: observed activity in bin %d beyond requested %d bins", b, totalBins)
-			}
-			continue
+	// Rows beyond the requested capture must be idle; verify them
+	// before the conversion pass so the main loop needs no per-row
+	// bounds or emptiness checks.
+	for b := totalBins; b < len(t.finished); b++ {
+		if t.finished[b] != empty {
+			return nil, fmt.Errorf("flows: observed activity in bin %d beyond requested %d bins", b, totalBins)
 		}
-		m.Rows[b] = c.AsVector()
+	}
+	m := features.NewMatrix(time.Duration(t.binWidth)*time.Microsecond, t.startMicros, totalBins)
+	n := len(t.finished)
+	if n > totalBins {
+		n = totalBins
+	}
+	for b := 0; b < n; b++ {
+		m.Rows[b] = t.finished[b].AsVector()
 	}
 	if t.cur < totalBins {
 		m.Rows[t.cur] = t.curCounts.AsVector()
@@ -160,6 +186,7 @@ func ExtractTrace(tr *netsim.TraceReader, local netsim.Addr, binWidth time.Durat
 	if err != nil {
 		return nil, err
 	}
+	t.Reserve(totalBins)
 	var rec netsim.Record
 	for {
 		err := tr.Next(&rec)

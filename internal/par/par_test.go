@@ -1,0 +1,60 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 257
+		seen := make([]atomic.Int32, n)
+		ForEach(n, workers, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := ForEachErr(100, 8, func(i int) error {
+		switch i {
+		case 90:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want error from lowest failing index", err)
+	}
+	if err := ForEachErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestWorkersClamping(t *testing.T) {
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8,3) = %d", w)
+	}
+	if w := Workers(0, 1000); w < 1 {
+		t.Fatalf("Workers(0,1000) = %d", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Fatalf("Workers(-1,0) = %d", w)
+	}
+}

@@ -38,7 +38,7 @@ func BoxplotOf(e *Empirical) Boxplot {
 	loFence := b.Q1 - 1.5*iqr
 	hiFence := b.Q3 + 1.5*iqr
 	b.WhiskerLo, b.WhiskerHi = b.Max, b.Min
-	for _, v := range e.Samples() {
+	for _, v := range e.sorted {
 		if v < loFence || v > hiFence {
 			b.Outliers = append(b.Outliers, v)
 			continue

@@ -47,6 +47,30 @@ func NewEmpirical(samples []float64) (*Empirical, error) {
 	return &Empirical{sorted: cp}, nil
 }
 
+// NewEmpiricalFromSorted adopts an already-sorted sample slice without
+// copying it — the zero-alloc construction path the analysis
+// workspace uses to share one sorted column across many views. The
+// caller transfers ownership: the slice must never be modified after
+// the call (the distribution would silently corrupt). The input is
+// verified to be sorted and NaN-free in one allocation-free pass.
+func NewEmpiricalFromSorted(sorted []float64) (*Empirical, error) {
+	if len(sorted) == 0 {
+		return nil, ErrNoSamples
+	}
+	if math.IsNaN(sorted[0]) {
+		return nil, fmt.Errorf("stats: sample 0 is NaN")
+	}
+	for i := 1; i < len(sorted); i++ {
+		if math.IsNaN(sorted[i]) {
+			return nil, fmt.Errorf("stats: sample %d is NaN", i)
+		}
+		if sorted[i] < sorted[i-1] {
+			return nil, fmt.Errorf("stats: samples not sorted at index %d (%g < %g)", i, sorted[i], sorted[i-1])
+		}
+	}
+	return &Empirical{sorted: sorted}, nil
+}
+
 // MustEmpirical is NewEmpirical that panics on error; intended for
 // tests and generators that control their inputs.
 func MustEmpirical(samples []float64) *Empirical {
@@ -109,7 +133,16 @@ func (e *Empirical) StdDev() float64 {
 // default of R, NumPy and Excel). Quantile(0.99) is the paper's "99th
 // percentile" threshold heuristic.
 func (e *Empirical) Quantile(q float64) (float64, error) {
-	n := len(e.sorted)
+	return QuantileSorted(e.sorted, q)
+}
+
+// QuantileSorted is the zero-alloc quantile fast path: it computes
+// the Hyndman-Fan type 7 q-quantile directly on an already-sorted
+// slice, with no Empirical wrapper and no copy. Empirical.Quantile
+// delegates here; the analysis workspace calls it on shared sorted
+// columns.
+func QuantileSorted(sorted []float64, q float64) (float64, error) {
+	n := len(sorted)
 	if n == 0 {
 		return 0, ErrNoSamples
 	}
@@ -117,15 +150,15 @@ func (e *Empirical) Quantile(q float64) (float64, error) {
 		return 0, fmt.Errorf("stats: quantile %g outside [0, 1]", q)
 	}
 	if n == 1 {
-		return e.sorted[0], nil
+		return sorted[0], nil
 	}
 	h := q * float64(n-1)
 	lo := int(math.Floor(h))
 	if lo >= n-1 {
-		return e.sorted[n-1], nil
+		return sorted[n-1], nil
 	}
 	frac := h - float64(lo)
-	return e.sorted[lo] + frac*(e.sorted[lo+1]-e.sorted[lo]), nil
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo]), nil
 }
 
 // MustQuantile is Quantile that panics on error.
@@ -145,13 +178,27 @@ func (e *Empirical) Percentile(p float64) (float64, error) {
 // CDF returns the empirical P(X <= x): the fraction of samples that
 // are <= x. Returns 0 for an empty distribution.
 func (e *Empirical) CDF(x float64) float64 {
-	n := len(e.sorted)
+	return CDFSorted(e.sorted, x)
+}
+
+// CDFSorted computes the empirical P(X <= x) directly on an
+// already-sorted slice — the zero-alloc counterpart of Empirical.CDF.
+// Returns 0 for an empty slice.
+func CDFSorted(sorted []float64, x float64) float64 {
+	n := len(sorted)
 	if n == 0 {
 		return 0
 	}
 	// index of first sample > x
-	idx := sort.Search(n, func(i int) bool { return e.sorted[i] > x })
+	idx := sort.Search(n, func(i int) bool { return sorted[i] > x })
 	return float64(idx) / float64(n)
+}
+
+// TailProbSorted computes the empirical P(X > x) on an
+// already-sorted slice: the false-positive rate of a threshold
+// detector with threshold x, without building an Empirical.
+func TailProbSorted(sorted []float64, x float64) float64 {
+	return 1 - CDFSorted(sorted, x)
 }
 
 // TailProb returns the empirical P(X > x), the probability mass
@@ -187,9 +234,22 @@ func (e *Empirical) InverseCDF(p float64) (float64, error) {
 	return e.sorted[k], nil
 }
 
-// Samples returns the sorted sample slice. The caller must not
-// modify it.
-func (e *Empirical) Samples() []float64 { return e.sorted }
+// Samples returns a defensive copy of the sorted sample slice. The
+// internal slice is never exposed: Empirical values are shared across
+// goroutines by the analysis workspace, and a caller mutating the
+// returned slice must not be able to corrupt them. Allocation-averse
+// callers should iterate with N/At or use the *Sorted fast-path
+// functions instead.
+func (e *Empirical) Samples() []float64 {
+	cp := make([]float64, len(e.sorted))
+	copy(cp, e.sorted)
+	return cp
+}
+
+// At returns the i-th order statistic (the i-th smallest sample),
+// allocation-free. It panics if i is out of range, like a slice
+// index.
+func (e *Empirical) At(i int) float64 { return e.sorted[i] }
 
 // Merge returns a new empirical distribution over the union of the
 // samples of e and others. This is how the homogeneous policy

@@ -28,10 +28,10 @@ func ROC(benign, attacked *Empirical) ([]ROCPoint, error) {
 		return nil, ErrNoSamples
 	}
 	thrSet := make(map[float64]struct{}, benign.N()+attacked.N()+1)
-	for _, v := range benign.Samples() {
+	for _, v := range benign.sorted {
 		thrSet[v] = struct{}{}
 	}
-	for _, v := range attacked.Samples() {
+	for _, v := range attacked.sorted {
 		thrSet[v] = struct{}{}
 	}
 	// A threshold below every sample gives the (1,1) corner.
@@ -101,7 +101,7 @@ func KolmogorovSmirnov(a, b *Empirical) (d, pValue float64, err error) {
 	if a == nil || a.N() == 0 || b == nil || b.N() == 0 {
 		return 0, 0, ErrNoSamples
 	}
-	sa, sb := a.Samples(), b.Samples()
+	sa, sb := a.sorted, b.sorted
 	var i, j int
 	na, nb := float64(len(sa)), float64(len(sb))
 	for i < len(sa) && j < len(sb) {

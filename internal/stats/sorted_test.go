@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// The *Sorted fast-path functions must agree exactly with the
+// Empirical methods they bypass — they are the same algorithm on the
+// same data, minus the copy.
+func TestSortedFastPathMatchesEmpirical(t *testing.T) {
+	samples := []float64{5, 1, 9, 2, 2, 7, 3.5, 0, 11, 6}
+	e := MustEmpirical(samples)
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 0.999, 1} {
+		want := e.MustQuantile(q)
+		got, err := QuantileSorted(sorted, q)
+		if err != nil || got != want {
+			t.Fatalf("QuantileSorted(%g) = %g, %v; want %g", q, got, err, want)
+		}
+	}
+	for _, x := range []float64{-1, 0, 2, 2.5, 6, 11, 40} {
+		if got, want := CDFSorted(sorted, x), e.CDF(x); got != want {
+			t.Fatalf("CDFSorted(%g) = %g, want %g", x, got, want)
+		}
+		if got, want := TailProbSorted(sorted, x), e.TailProb(x); got != want {
+			t.Fatalf("TailProbSorted(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestSortedFastPathErrors(t *testing.T) {
+	if _, err := QuantileSorted(nil, 0.5); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	if _, err := QuantileSorted([]float64{1, 2}, 1.5); err == nil {
+		t.Fatal("out-of-range quantile accepted")
+	}
+	if got := CDFSorted(nil, 1); got != 0 {
+		t.Fatalf("CDFSorted(empty) = %g", got)
+	}
+}
+
+func TestNewEmpiricalFromSorted(t *testing.T) {
+	sorted := []float64{1, 2, 2, 5}
+	e, err := NewEmpiricalFromSorted(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-copy adoption: the distribution reads the caller's slice.
+	if e.N() != 4 || e.At(3) != 5 {
+		t.Fatalf("adopted wrong samples: n=%d", e.N())
+	}
+	if _, err := NewEmpiricalFromSorted([]float64{2, 1}); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if _, err := NewEmpiricalFromSorted([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN input accepted")
+	}
+	if _, err := NewEmpiricalFromSorted(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// Samples must return a defensive copy: distributions are shared
+// across goroutines by the analysis cache, so callers must not be
+// able to mutate internal state through the accessor.
+func TestSamplesIsDefensiveCopy(t *testing.T) {
+	e := MustEmpirical([]float64{3, 1, 2})
+	s := e.Samples()
+	s[0] = 999
+	if e.At(0) != 1 || e.Min() != 1 {
+		t.Fatalf("mutating Samples() corrupted the distribution: %v", e.Samples())
+	}
+	if got := e.Samples(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Samples() = %v", got)
+	}
+}

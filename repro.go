@@ -22,13 +22,13 @@ package repro
 
 import (
 	"fmt"
-	"math"
-	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -50,14 +50,20 @@ type Options struct {
 }
 
 // Enterprise is a generated population together with its lazily
-// materialized per-user feature matrices. It is safe for concurrent
-// use after construction.
+// materialized per-user feature matrices and the columnar analysis
+// workspace every experiment runner shares (pre-sorted per-user ×
+// per-week × per-feature views, memoized distributions, cached
+// attack sweeps and threshold configurations). It is safe for
+// concurrent use after construction.
 type Enterprise struct {
 	// Pop is the underlying synthetic population.
 	Pop *trace.Population
 
 	once     []sync.Once
 	matrices []*features.Matrix
+
+	wsOnce sync.Once
+	ws     *analysis.Workspace
 }
 
 // NewEnterprise generates a deterministic enterprise from opts.
@@ -91,61 +97,56 @@ func (e *Enterprise) Matrix(u int) *features.Matrix {
 	return e.matrices[u]
 }
 
-// Materialize builds every user's matrix using all CPUs; experiments
-// call it up front so their own timings exclude generation.
+// Materialize builds every user's matrix using all CPUs and warms
+// the columnar analysis workspace (one parallel extract-and-sort
+// pass over every feature-week); experiments call it up front so
+// their own timings exclude generation.
 func (e *Enterprise) Materialize() {
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for u := range ch {
-				e.Matrix(u)
-			}
-		}()
-	}
-	for u := range e.matrices {
-		ch <- u
-	}
-	close(ch)
-	wg.Wait()
+	e.workspace().Warm()
+}
+
+// materializeAll builds every user's matrix in parallel.
+func (e *Enterprise) materializeAll() {
+	par.ForEach(len(e.matrices), 0, func(u int) { e.Matrix(u) })
+}
+
+// workspace returns the enterprise's columnar analysis workspace,
+// building it (and all matrices) on first use.
+func (e *Enterprise) workspace() *analysis.Workspace {
+	e.wsOnce.Do(func() {
+		e.materializeAll()
+		e.ws = analysis.New(e.matrices)
+	})
+	return e.ws
 }
 
 // TrainTest extracts every user's train-week and test-week series of
-// one feature, the input shape of the §6.1 methodology.
+// one feature, the input shape of the §6.1 methodology. The returned
+// slices are fresh copies the caller may modify; internal runners use
+// the workspace's shared columns directly.
 func (e *Enterprise) TrainTest(f features.Feature, trainWeek, testWeek int) (train, test [][]float64) {
-	train = make([][]float64, e.Users())
-	test = make([][]float64, e.Users())
-	for u := range train {
-		m := e.Matrix(u)
-		lo, hi := m.WeekRange(trainWeek)
-		train[u] = m.ColumnSlice(f, lo, hi)
-		lo, hi = m.WeekRange(testWeek)
-		test[u] = m.ColumnSlice(f, lo, hi)
+	ws := e.workspace()
+	return copyColumns(ws.Raw(f, trainWeek)), copyColumns(ws.Raw(f, testWeek))
+}
+
+func copyColumns(cols [][]float64) [][]float64 {
+	out := make([][]float64, len(cols))
+	for u := range cols {
+		out[u] = append([]float64(nil), cols[u]...)
 	}
-	return train, test
+	return out
 }
 
 // TailStats returns every user's q-quantile of one feature over the
-// given week (the per-user thresholds Fig 1 plots).
+// given week (the per-user thresholds Fig 1 plots). Results come
+// from the workspace's memoized quantile vectors; the returned slice
+// is a fresh copy the caller may reorder.
 func (e *Enterprise) TailStats(f features.Feature, week int, q float64) ([]float64, error) {
-	out := make([]float64, e.Users())
-	for u := range out {
-		m := e.Matrix(u)
-		lo, hi := m.WeekRange(week)
-		d, err := m.Distribution(f, lo, hi)
-		if err != nil {
-			return nil, fmt.Errorf("repro: user %d %s: %w", u, f, err)
-		}
-		v, err := d.Quantile(q)
-		if err != nil {
-			return nil, err
-		}
-		out[u] = v
+	tails, err := e.workspace().TailStats(f, week, q)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
 	}
-	return out, nil
+	return append([]float64(nil), tails...), nil
 }
 
 // Policies returns the paper's three grouping policies under one
@@ -163,41 +164,22 @@ func Policies(h core.Heuristic) []core.Policy {
 // n geometrically spaced sizes from 1 up to the maximum feature value
 // any user exhibits in the training week ("the largest attack for a
 // given feature is determined by finding the user whose own traffic
-// hits the maximum seen value", §6.1).
+// hits the maximum seen value", §6.1). Sweeps are memoized per
+// (feature, week, n); the returned slice is a fresh copy.
 func (e *Enterprise) AttackSweep(f features.Feature, trainWeek, n int) []float64 {
-	var max float64
-	for u := 0; u < e.Users(); u++ {
-		m := e.Matrix(u)
-		lo, hi := m.WeekRange(trainWeek)
-		for b := lo; b < hi; b++ {
-			if v := m.Rows[b][f]; v > max {
-				max = v
-			}
-		}
-	}
-	if max < 2 {
-		max = 2
-	}
-	return geomSpace(1, max, n)
+	return append([]float64(nil), e.workspace().Sweep(f, trainWeek, n)...)
 }
 
-// geomSpace returns n geometrically spaced values over [lo, hi].
+// geomSpace returns n geometrically spaced values over [lo, hi],
+// guarding degenerate bounds (lo <= 0, hi <= lo, NaN/Inf) so attack
+// sweeps can never contain NaN or Inf magnitudes.
 func geomSpace(lo, hi float64, n int) []float64 {
-	if n < 2 {
-		return []float64{hi}
-	}
-	out := make([]float64, n)
-	ratio := hi / lo
-	for i := range out {
-		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
-	}
-	return out
+	return analysis.GeomSpace(lo, hi, n)
 }
 
-// Distribution builds one user's empirical distribution of a feature
-// over a week.
+// Distribution returns one user's memoized empirical distribution of
+// a feature over a week. The distribution is shared with the
+// analysis workspace (Empirical is immutable, so sharing is safe).
 func (e *Enterprise) Distribution(u int, f features.Feature, week int) (*stats.Empirical, error) {
-	m := e.Matrix(u)
-	lo, hi := m.WeekRange(week)
-	return m.Distribution(f, lo, hi)
+	return e.workspace().Dist(u, f, week), nil
 }

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_json.sh — convert `go test -bench -benchmem` output into the
+# BENCH_repro.json format: one record per benchmark with ns/op, B/op
+# and allocs/op. An optional second file (the frozen seed baseline,
+# scripts/seed_baseline.bench) is emitted as "seed_baseline" so the
+# speedup vs. the pre-workspace implementation stays on record.
+#
+# Usage: scripts/bench_json.sh current.txt [seed-baseline.txt]
+set -eu
+
+in="${1:?usage: bench_json.sh <current-bench-output> [seed-baseline-output]}"
+base="${2:-}"
+
+emit_array() {
+    awk '
+    BEGIN { n = 0 }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix (-8 etc.)
+        iters = $2
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 3; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns = $(i - 1)
+            if ($(i) == "B/op")      bytes = $(i - 1)
+            if ($(i) == "allocs/op") allocs = $(i - 1)
+        }
+        if (ns == "") next
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+        if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }
+    END { print "" }
+    ' "$1"
+}
+
+meta() {
+    awk '
+    /^goos:/   { goos = $2 }
+    /^goarch:/ { goarch = $2 }
+    /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+    END { printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"\n", goos, goarch, cpu }
+    ' "$1"
+}
+
+printf '{\n'
+printf '  "benchmarks": [\n'
+emit_array "$in"
+printf '  ],\n'
+if [ -n "$base" ]; then
+    printf '  "seed_baseline": [\n'
+    emit_array "$base"
+    printf '  ],\n'
+fi
+meta "$in"
+printf '}\n'
