@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench experiments
+.PHONY: all build vet test race verify soak bench experiments
 
 all: verify
 
@@ -13,13 +13,22 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs the unit suite under the race detector with shuffled test
+# order; the thousand-agent fleet soak is excluded (-short) and has
+# its own target below.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on -short ./...
 
 # verify is the CI gate: static checks, build, and the full suite
 # under the race detector (the experiment engine is parallel; every
 # PR must stay race-clean).
 verify: vet build race
+
+# soak runs the fleet end-to-end suite — console + 1000 agents over
+# the in-memory transport, twice, asserting identical Results — under
+# the race detector. CI runs this as its own job.
+soak:
+	$(GO) test -race -run TestFleet ./internal/fleet -timeout 10m -v
 
 # bench runs the per-experiment benchmarks and records them as
 # BENCH_repro.json, the perf trajectory checked in with each PR.

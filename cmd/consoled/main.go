@@ -2,9 +2,14 @@
 // agents, collects their training distributions, computes thresholds
 // under the configured policy and tallies incoming alert batches.
 //
+// Everything below the TCP listener is shared with the in-process
+// fleet simulator: fleet.ConsoleSpec parses the policy flags and
+// builds the console.Server, and fleet.WriteConsoleSummary renders
+// the shutdown report.
+//
 // Usage:
 //
-//	consoled -listen :7070 -hosts 10 -policy full|homog|partial8 [-heuristic p99|utility0.4]
+//	consoled -listen :7070 -hosts 10 -policy homog|full|partialN [-heuristic p99|p999|utility0.4|mean3sigma]
 //
 // The console logs when each host connects, when the policy is
 // configured, and prints an alert summary on SIGINT/SIGTERM.
@@ -12,58 +17,28 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
-	"repro/internal/console"
-	"repro/internal/core"
-	"repro/internal/features"
+	"repro/internal/fleet"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
 	hosts := flag.Int("hosts", 10, "number of hosts to wait for before configuring")
-	policy := flag.String("policy", "full", "grouping policy: homog, full, partial8")
-	heuristic := flag.String("heuristic", "p99", "threshold heuristic: p99, p999, utility0.4, mean3sigma")
+	policy := flag.String("policy", "full", "grouping policy: homog, full, partialN")
+	heuristic := flag.String("heuristic", "p99", "threshold heuristic: p99, p999, utilityW, meanKsigma")
 	flag.Parse()
 
-	var grouping core.Grouping
-	switch *policy {
-	case "homog":
-		grouping = core.Homogeneous{}
-	case "full":
-		grouping = core.FullDiversity{}
-	case "partial8":
-		grouping = core.PartialDiversity{NumGroups: 8}
-	default:
-		log.Fatalf("consoled: unknown policy %q", *policy)
-	}
-	var h core.Heuristic
-	var mags []float64
-	switch *heuristic {
-	case "p99":
-		h = core.Percentile{Q: 0.99}
-	case "p999":
-		h = core.Percentile{Q: 0.999}
-	case "utility0.4":
-		h = core.UtilityOptimal{W: 0.4}
-		mags = []float64{10, 50, 100, 500, 1000}
-	case "mean3sigma":
-		h = core.MeanSigma{K: 3}
-	default:
-		log.Fatalf("consoled: unknown heuristic %q", *heuristic)
-	}
-
-	srv, err := console.NewServer(console.ServerConfig{
-		Policy:           core.Policy{Heuristic: h, Grouping: grouping},
-		ExpectedHosts:    *hosts,
-		AttackMagnitudes: mags,
-		Logf:             log.Printf,
-	})
+	srv, err := fleet.ConsoleSpec{
+		Grouping:  *policy,
+		Heuristic: *heuristic,
+		Hosts:     *hosts,
+		Logf:      log.Printf,
+	}.Build()
 	if err != nil {
 		log.Fatalf("consoled: %v", err)
 	}
@@ -84,14 +59,5 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		log.Printf("consoled: serve: %v", err)
 	}
-
-	fmt.Printf("\n=== console summary ===\n")
-	fmt.Printf("hosts seen: %d\n", len(srv.Hosts()))
-	fmt.Printf("total alerts: %d\n", srv.TotalAlerts())
-	for _, id := range srv.Hosts() {
-		fmt.Printf("  host %3d: %d alerts\n", id, srv.AlertCount(id))
-	}
-	if asn := srv.Assignment(features.TCP); asn != nil {
-		fmt.Printf("TCP groups: %d\n", len(asn.Groups))
-	}
+	fleet.WriteConsoleSummary(os.Stdout, srv)
 }

@@ -4,6 +4,11 @@
 // its training distribution to the console, receives thresholds and
 // streams alert batches back.
 //
+// The run loop itself — upload, wait for thresholds, monitor, flush —
+// is fleet.RunAgent, the same code the in-process fleet simulator
+// drives at thousand-agent scale; hidsd only adds flag parsing, trace
+// loading and the TCP dial.
+//
 // Usage (trace file):
 //
 //	hidsd -console 127.0.0.1:7070 -trace /tmp/traces/host-003.etr -train-bins 672 -bins 1344
@@ -22,6 +27,7 @@ import (
 
 	"repro/internal/console"
 	"repro/internal/features"
+	"repro/internal/fleet"
 	"repro/internal/flows"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -52,32 +58,9 @@ func main() {
 		log.Fatalf("hidsd: user %d outside population of %d", *userID, *users)
 	}
 	u := pop.Users[*userID]
-
-	// Build the feature matrix: from the trace file through the flow
-	// tracker when given, else via the generator fast path (the two
-	// are bit-identical; the tests prove it).
-	var m *features.Matrix
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			log.Fatalf("hidsd: %v", err)
-		}
-		rd, err := netsim.NewTraceReader(f)
-		if err != nil {
-			log.Fatalf("hidsd: %v", err)
-		}
-		if int(rd.HostID()) != *userID {
-			log.Printf("hidsd: warning: trace host id %d != -user %d", rd.HostID(), *userID)
-		}
-		m, err = flows.ExtractTrace(rd, u.Addr, pop.Cfg.BinWidth, pop.Cfg.StartMicros, pop.Cfg.TotalBins())
-		if err != nil {
-			log.Fatalf("hidsd: extracting %s: %v", *tracePath, err)
-		}
-		_ = f.Close()
-		log.Printf("hidsd: extracted %d windows from %s", m.Bins(), *tracePath)
-	} else {
-		m = u.Series()
-		log.Printf("hidsd: synthesized %d windows for user %d", m.Bins(), *userID)
+	m, err := buildMatrix(*tracePath, *userID, u, pop)
+	if err != nil {
+		log.Fatalf("hidsd: %v", err)
 	}
 	if *trainBins <= 0 || *trainBins >= m.Bins() {
 		log.Fatalf("hidsd: -train-bins %d outside (0, %d)", *trainBins, m.Bins())
@@ -88,40 +71,48 @@ func main() {
 		log.Fatalf("hidsd: %v", err)
 	}
 	defer agent.Close()
-	if err := agent.UploadMatrix(m, 0, *trainBins); err != nil {
-		log.Fatalf("hidsd: upload: %v", err)
-	}
-	log.Printf("hidsd: training distributions uploaded; waiting for thresholds")
-	thr, err := agent.WaitThresholds(5 * time.Minute)
+	rep, err := fleet.RunAgent(fleet.AgentRun{
+		Agent:      agent,
+		Matrix:     m,
+		TrainLo:    0,
+		TrainHi:    *trainBins,
+		MonitorLo:  *trainBins,
+		MonitorHi:  m.Bins(),
+		FlushEvery: *batchEvery,
+		Logf:       log.Printf,
+	})
 	if err != nil {
 		log.Fatalf("hidsd: %v", err)
 	}
-	log.Printf("hidsd: thresholds received (policy %s, group %d): %v",
-		thr.Policy, thr.Group, thr.Values)
+	log.Printf("hidsd: monitored %d windows, sent %d alerts (policy %s, group %d)",
+		rep.Windows, rep.AlertsSent, rep.Thresholds.Policy, rep.Thresholds.Group)
+}
 
-	alerts := 0
-	for b := *trainBins; b < m.Bins(); b++ {
-		c := features.Counts{
-			DNS:      int(m.Rows[b][features.DNS]),
-			TCP:      int(m.Rows[b][features.TCP]),
-			TCPSYN:   int(m.Rows[b][features.TCPSYN]),
-			HTTP:     int(m.Rows[b][features.HTTP]),
-			Distinct: int(m.Rows[b][features.Distinct]),
-			UDP:      int(m.Rows[b][features.UDP]),
-		}
-		if err := agent.ObserveWindow(b, c); err != nil {
-			log.Fatalf("hidsd: observe: %v", err)
-		}
-		if (b-*trainBins+1)%*batchEvery == 0 {
-			alerts += agent.PendingAlerts()
-			if err := agent.Flush(); err != nil {
-				log.Fatalf("hidsd: flush: %v", err)
-			}
-		}
+// buildMatrix loads the host's feature matrix from an .etr trace via
+// the packet pipeline, or synthesizes it via the generator fast path
+// (the two are bit-identical; the tests prove it).
+func buildMatrix(tracePath string, userID int, u *trace.User, pop *trace.Population) (*features.Matrix, error) {
+	if tracePath == "" {
+		m := u.Series()
+		log.Printf("hidsd: synthesized %d windows for user %d", m.Bins(), userID)
+		return m, nil
 	}
-	alerts += agent.PendingAlerts()
-	if err := agent.Flush(); err != nil {
-		log.Fatalf("hidsd: final flush: %v", err)
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return nil, err
 	}
-	log.Printf("hidsd: monitored %d windows, sent %d alerts", m.Bins()-*trainBins, alerts)
+	defer f.Close()
+	rd, err := netsim.NewTraceReader(f)
+	if err != nil {
+		return nil, err
+	}
+	if int(rd.HostID()) != userID {
+		log.Printf("hidsd: warning: trace host id %d != -user %d", rd.HostID(), userID)
+	}
+	m, err := flows.ExtractTrace(rd, u.Addr, pop.Cfg.BinWidth, pop.Cfg.StartMicros, pop.Cfg.TotalBins())
+	if err != nil {
+		return nil, fmt.Errorf("extracting %s: %w", tracePath, err)
+	}
+	log.Printf("hidsd: extracted %d windows from %s", m.Bins(), tracePath)
+	return m, nil
 }

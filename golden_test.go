@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update-golden rewrites testdata/golden_seed1_20users.json from the
+// current implementation. Only use it when an intentional behavior
+// change is understood and documented; the whole point of the file is
+// that analysis refactors cannot silently drift the paper's numbers.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the experiment golden file")
+
+// goldenExperiments is the committed snapshot's shape: the three
+// artifacts whose numbers EXPERIMENTS.md discusses most — per-user
+// thresholds (Fig 1), the utility distribution (Fig 3a) and console
+// false-alarm volumes (Table 3).
+type goldenExperiments struct {
+	Fig1   *Fig1Result
+	Fig3a  *Fig3aResult
+	Table3 *Table3Result
+}
+
+// TestGoldenExperimentOutputs pins Fig1/Fig3a/Table3 on a small
+// reference population (20 users, seed 1, 2 weeks, 15-minute bins)
+// to a committed JSON snapshot, byte for byte. Go's float64 JSON
+// encoding is shortest-round-trip, so byte stability here means
+// bit-identical results: any numeric drift introduced by an analysis
+// refactor fails this test before it can silently change
+// EXPERIMENTS.md's reported values.
+func TestGoldenExperimentOutputs(t *testing.T) {
+	ent, err := NewEnterprise(Options{Users: 20, Weeks: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperimentConfig()
+	var g goldenExperiments
+	if g.Fig1, err = Fig1(ent, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if g.Fig3a, err = Fig3a(ent, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if g.Table3, err = Table3(ent, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(&g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden_seed1_20users.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		// Locate the first divergence so the failure is actionable
+		// without diffing 20 KB by eye.
+		n := len(got)
+		if len(want) < n {
+			n = len(want)
+		}
+		at := n
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				at = i
+				break
+			}
+		}
+		lo, hi := at-60, at+60
+		if lo < 0 {
+			lo = 0
+		}
+		context := func(b []byte) string {
+			h := hi
+			if h > len(b) {
+				h = len(b)
+			}
+			if lo >= h {
+				return ""
+			}
+			return string(b[lo:h])
+		}
+		t.Fatalf("experiment outputs drifted from golden file at byte %d:\n  got:  …%s…\n  want: …%s…\n"+
+			"If the change is intentional, regenerate with: go test -run TestGolden -update-golden .",
+			at, context(got), context(want))
+	}
+}

@@ -137,6 +137,48 @@ func (d *Detector) Evaluate(alarms [][]bool, attacked []bool) (stats.Confusion, 
 	return c, nil
 }
 
+// Tally accumulates per-(host, window) alarm marks into the boolean
+// alarm matrix Votes consumes. Marks are idempotent: a host that
+// reports the same window twice — a re-flush after a reconnect, a
+// duplicated batch on the wire — still casts a single vote, which
+// keeps the quorum honest against double counting.
+type Tally struct {
+	alarms [][]bool
+}
+
+// NewTally creates an all-clear tally for a fleet of hosts observed
+// over bins windows.
+func NewTally(hosts, bins int) (*Tally, error) {
+	if hosts < 1 {
+		return nil, fmt.Errorf("collab: tally needs >= 1 host, got %d", hosts)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("collab: tally needs >= 1 window, got %d", bins)
+	}
+	t := &Tally{alarms: make([][]bool, hosts)}
+	for u := range t.alarms {
+		t.alarms[u] = make([]bool, bins)
+	}
+	return t, nil
+}
+
+// Mark records that host raised an alarm in window bin. Duplicate
+// marks are counted once.
+func (t *Tally) Mark(host, bin int) error {
+	if host < 0 || host >= len(t.alarms) {
+		return fmt.Errorf("collab: host %d outside [0, %d)", host, len(t.alarms))
+	}
+	if bin < 0 || bin >= len(t.alarms[host]) {
+		return fmt.Errorf("collab: window %d outside [0, %d)", bin, len(t.alarms[host]))
+	}
+	t.alarms[host][bin] = true
+	return nil
+}
+
+// Alarms returns the accumulated alarm matrix. The matrix is shared
+// with the tally: callers should be done marking before use.
+func (t *Tally) Alarms() [][]bool { return t.alarms }
+
 // AlarmSeries converts per-host feature series plus thresholds into
 // the boolean alarm matrix Votes consumes. overlay may be nil (no
 // attack).

@@ -74,6 +74,127 @@ func TestSentinelWeight(t *testing.T) {
 	}
 }
 
+// TestQuorumBoundary pins the exact quorum semantics: v >= Quorum
+// declares an event, v == Quorum-1 does not. One vote must never be
+// the difference between "met" and "nearly met" silently.
+func TestQuorumBoundary(t *testing.T) {
+	d, err := New(Config{Quorum: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := [][]bool{
+		// window 0: exactly 3 of 4 hosts alarm (quorum exactly met);
+		// window 1: 2 of 4 (one short); window 2: all 4 (exceeded).
+		{true, true, true},
+		{true, true, true},
+		{true, false, true},
+		{false, false, true},
+	}
+	events, err := d.Events(alarms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !events[0] {
+		t.Error("quorum exactly met did not declare an event")
+	}
+	if events[1] {
+		t.Error("one vote short of quorum declared an event")
+	}
+	if !events[2] {
+		t.Error("quorum exceeded did not declare an event")
+	}
+}
+
+// TestSentinelAloneMeetsQuorum covers the sentinel-dominance edge:
+// when SentinelWeight >= Quorum, a single sentinel vote is a fleet
+// event on its own, while a lone ordinary host stays below quorum.
+func TestSentinelAloneMeetsQuorum(t *testing.T) {
+	d, err := New(Config{Quorum: 4, SentinelWeight: 4, Sentinels: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := [][]bool{
+		{true, false}, // ordinary host alone: no event
+		{false, false},
+		{false, true}, // sentinel alone: event
+	}
+	votes, err := d.Votes(alarms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if votes[0] != 1 || votes[1] != 4 {
+		t.Fatalf("votes = %v, want [1 4]", votes)
+	}
+	events, err := d.Events(alarms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0] || !events[1] {
+		t.Fatalf("events = %v, want [false true]", events)
+	}
+}
+
+// TestTallyDeduplicatesVotes checks that duplicate alarm reports from
+// the same host in one window — a re-flushed batch after a
+// reconnect, a duplicated frame — are counted once: votes come from
+// the deduplicated matrix, so quorum cannot be gamed by repetition.
+func TestTallyDeduplicatesVotes(t *testing.T) {
+	tally, err := NewTally(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host 0 reports window 0 three times; host 1 once.
+	for i := 0; i < 3; i++ {
+		if err := tally.Mark(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tally.Mark(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{Quorum: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes, err := d.Votes(tally.Alarms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if votes[0] != 2 {
+		t.Fatalf("votes[0] = %d, want 2 (duplicates must collapse)", votes[0])
+	}
+	events, err := d.Events(tally.Alarms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0] {
+		t.Fatal("duplicate votes from one host reached quorum")
+	}
+}
+
+// TestTallyValidation covers the tally's bounds checking.
+func TestTallyValidation(t *testing.T) {
+	if _, err := NewTally(0, 5); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+	if _, err := NewTally(2, 0); err == nil {
+		t.Fatal("zero windows accepted")
+	}
+	tally, err := NewTally(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tally.Mark(2, 0); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	if err := tally.Mark(0, 3); err == nil {
+		t.Fatal("out-of-range window accepted")
+	}
+	if err := tally.Mark(-1, 0); err == nil {
+		t.Fatal("negative host accepted")
+	}
+}
+
 func TestVotesErrors(t *testing.T) {
 	d, _ := New(Config{Quorum: 1})
 	if _, err := d.Votes(nil); err == nil {

@@ -37,6 +37,12 @@ type Agent struct {
 // ErrAgentClosed is returned for operations on a closed agent.
 var ErrAgentClosed = errors.New("console: agent closed")
 
+// ErrThresholdsTimeout is returned by WaitThresholds(Epoch) when the
+// timeout expires before thresholds arrive. Callers that wait in
+// slices (the fleet runner polls between slices for fleet-wide
+// aborts) test for it to distinguish "not yet" from a dead agent.
+var ErrThresholdsTimeout = errors.New("console: timeout waiting for thresholds")
+
 // Dial connects an agent to the console at addr over TCP and
 // completes the hello handshake.
 func Dial(addr string, hostID uint32, hostname string) (*Agent, error) {
@@ -200,7 +206,7 @@ func (a *Agent) WaitThresholdsEpoch(epoch int, timeout time.Duration) (Threshold
 		case <-a.doneCh:
 			return Thresholds{}, a.err()
 		case <-deadline.C:
-			return Thresholds{}, errors.New("console: timeout waiting for thresholds")
+			return Thresholds{}, ErrThresholdsTimeout
 		}
 	}
 }
@@ -225,11 +231,19 @@ func (a *Agent) Detectors() ([features.NumFeatures]core.Detector, error) {
 // current thresholds, queueing alerts for any exceedance. bin is the
 // window index reported to the console.
 func (a *Agent) ObserveWindow(bin int, counts features.Counts) error {
+	return a.ObserveVector(bin, counts.AsVector())
+}
+
+// ObserveVector is ObserveWindow on a raw feature vector in canonical
+// order. The fleet simulator uses it to overlay fractional attack
+// volumes (a mimicry size is rarely integral) with exactly the float64
+// arithmetic the in-memory evaluation path (core.Evaluate) performs,
+// so wire-level and in-memory alarm decisions are bit-identical.
+func (a *Agent) ObserveVector(bin int, vec [features.NumFeatures]float64) error {
 	dets, err := a.Detectors()
 	if err != nil {
 		return err
 	}
-	vec := counts.AsVector()
 	a.mu.Lock()
 	for _, f := range features.All() {
 		if dets[f].Alarm(vec[f]) {

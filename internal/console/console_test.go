@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/netsim"
 	"repro/internal/trace"
 )
 
@@ -264,6 +265,100 @@ func TestLateConnectorGetsThresholds(t *testing.T) {
 	defer late.Close()
 	if _, err := late.WaitThresholds(20 * time.Second); err != nil {
 		t.Fatalf("late connector: %v", err)
+	}
+}
+
+// TestReconnectDoesNotLeakConns is the regression test for the
+// reconnect race fixed in PR 1: a handler that lost its conns slot to
+// a faster reconnector must not delete the newcomer's entry on exit,
+// and a departed host must always vacate its slot — a leaked entry
+// would make every future redial of that host ID fail as a
+// "duplicate host". Exercised over the in-memory transport through
+// repeated drop-and-redial cycles.
+func TestReconnectDoesNotLeakConns(t *testing.T) {
+	const users = 2
+	pop := trace.MustPopulation(trace.Config{Users: users, Weeks: 1, Seed: 63, BinWidth: 4 * time.Hour})
+	srv, err := NewServer(ServerConfig{
+		Policy:        policy99(core.FullDiversity{}),
+		ExpectedHosts: users,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := netsim.NewMemNetwork()
+	ln, err := network.Listen("console")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	dial := func(host uint32) *Agent {
+		t.Helper()
+		conn, err := network.Dial("console")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAgent(conn, host, "")
+		if err != nil {
+			t.Fatalf("host %d: %v", host, err)
+		}
+		return a
+	}
+
+	// Both hosts upload so the console configures and stores
+	// thresholds for host 0 to resume onto.
+	agents := make([]*Agent, users)
+	for i, u := range pop.Users {
+		agents[i] = dial(uint32(u.ID))
+		m := u.Series()
+		if err := agents[i].UploadMatrix(m, 0, m.Bins()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := agents[0].WaitThresholds(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Host 0 drops and redials repeatedly. Every cycle must resume
+	// cleanly: thresholds re-pushed from the stored assignment, alert
+	// batches accepted, and the previous connection's slot vacated
+	// (redial is only accepted once the old entry is gone).
+	counts := features.Counts{TCP: 1 << 20} // over any sane threshold
+	for cycle := 0; cycle < 5; cycle++ {
+		_ = agents[0].Close()
+		agents[0] = dial(0)
+		thr, err := agents[0].WaitThresholds(20 * time.Second)
+		if err != nil {
+			t.Fatalf("cycle %d: resume: %v", cycle, err)
+		}
+		if thr.Values[features.TCP] <= 0 {
+			t.Fatalf("cycle %d: bogus resumed thresholds %v", cycle, thr.Values)
+		}
+		if err := agents[0].ObserveWindow(cycle, counts); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if err := agents[0].Flush(); err != nil {
+			t.Fatalf("cycle %d: flush after resume: %v", cycle, err)
+		}
+	}
+	if got := srv.AlertCount(0); got < 5 {
+		t.Fatalf("console saw %d alerts from the reconnecting host, want >= 5", got)
+	}
+	// With both hosts connected, exactly two conns entries may exist;
+	// after closing both, the table must drain to zero (no leak).
+	if got := srv.ActiveConns(); got != users {
+		t.Fatalf("ActiveConns = %d with %d live hosts", got, users)
+	}
+	for _, a := range agents {
+		_ = a.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ActiveConns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("conns table still holds %d entries after all agents closed", srv.ActiveConns())
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

@@ -398,6 +398,27 @@ func (s *Server) AlertCount(hostID uint32) int {
 	return s.alertTally[hostID]
 }
 
+// Alerts returns a copy of every alert batch received so far, in
+// arrival order. The fleet simulator rebuilds the per-host alarm
+// matrix from this log (the console-side view of the fleet), so
+// collaborative quorum detection runs on exactly what came over the
+// wire rather than on agent-side state.
+func (s *Server) Alerts() []AlertBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]AlertBatch(nil), s.alertLog...)
+}
+
+// ActiveConns returns the number of currently registered agent
+// connections — the size of the conns table. A host that disconnects
+// must eventually disappear from it, or it could never reconnect; the
+// reconnect regression tests watch this.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 // TotalAlerts returns the number of alerts received from all hosts —
 // the quantity Table 3 reports per week.
 func (s *Server) TotalAlerts() int {

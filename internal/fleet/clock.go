@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClockCancelled is returned by Clock.Step after Cancel: the fleet
+// run is aborting and no further ticks will happen.
+var ErrClockCancelled = errors.New("fleet: logical clock cancelled")
+
+// Clock is the fleet's logical time source: a reusable barrier over n
+// participants. Each participant calls Step to finish the current
+// tick; Step returns once every participant has arrived, at which
+// point the logical time has advanced by one. Wall time never enters:
+// a fleet run's notion of "now" is purely the tick count, which is
+// what makes replay order — and therefore every Result — a function
+// of the seed alone rather than of goroutine scheduling.
+//
+// A participant that fails mid-run must Cancel the clock, or the
+// remaining participants would wait forever on a barrier that can no
+// longer fill.
+type Clock struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	n         int
+	arrived   int
+	tick      int
+	cancelled bool
+}
+
+// NewClock creates a logical clock over n participants (n >= 1).
+func NewClock(n int) *Clock {
+	if n < 1 {
+		panic("fleet: clock needs >= 1 participant")
+	}
+	c := &Clock{n: n}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Step blocks until all n participants have called Step for the
+// current tick, then advances the clock. It returns
+// ErrClockCancelled if Cancel was (or is) called while waiting.
+func (c *Clock) Step() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancelled {
+		return ErrClockCancelled
+	}
+	t := c.tick
+	c.arrived++
+	if c.arrived == c.n {
+		c.arrived = 0
+		c.tick++
+		c.cond.Broadcast()
+		return nil
+	}
+	for c.tick == t && !c.cancelled {
+		c.cond.Wait()
+	}
+	if c.cancelled {
+		return ErrClockCancelled
+	}
+	return nil
+}
+
+// Cancel aborts the clock: every current and future Step returns
+// ErrClockCancelled. Idempotent.
+func (c *Clock) Cancel() {
+	c.mu.Lock()
+	c.cancelled = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Cancelled reports whether Cancel has been called.
+func (c *Clock) Cancelled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cancelled
+}
+
+// Tick returns the current logical time (the number of completed
+// barrier rounds).
+func (c *Clock) Tick() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tick
+}

@@ -1,0 +1,442 @@
+// Package fleet is the in-process fleet simulator: one console server
+// and N end-host agents wired over an in-memory net.Conn transport
+// (netsim.MemNetwork), driven through the paper's full distributed
+// loop — train, upload, threshold push, synchronized test-week
+// replay, alert batching, collaborative quorum detection — with no
+// real sockets and no wall-clock dependence.
+//
+// A fleet run is fully deterministic given its Config: the population
+// is seeded (internal/trace), attack campaigns derive from a seeded
+// xrand stream, agents connect in user order so the console's
+// host-order-dependent threshold assignment is fixed, and replay
+// advances on a logical barrier clock (Clock) instead of timers. The
+// same Config therefore always produces an identical Result, byte for
+// byte — which is what lets fleet_test.go pin the wire-level pipeline
+// to the in-memory analysis pipeline (core.EvaluatePolicy over an
+// analysis.Workspace) on identical populations, and what makes
+// thousand-agent soak runs reproducible under the race detector.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/collab"
+	"repro/internal/console"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one fleet simulation.
+type Config struct {
+	// Users is the fleet size.
+	Users int
+	// Weeks of synthetic capture; must cover TrainWeek and TestWeek.
+	Weeks int
+	// Seed drives the population (and, with Attack.Seed, everything
+	// else that is random).
+	Seed uint64
+	// BinWidth is the aggregation window (default 15 minutes).
+	BinWidth time.Duration
+	// WeeklyTrend overrides the population's weekly rate trend; zero
+	// keeps the calibrated default.
+	WeeklyTrend float64
+	// Matrices optionally supplies pre-built per-user feature
+	// matrices, one per host, all sharing one geometry that covers
+	// TrainWeek and TestWeek. When set, population synthesis is
+	// skipped entirely (Seed/BinWidth/WeeklyTrend are ignored) —
+	// thousand-agent soak runs share one generation pass instead of
+	// re-synthesizing hundreds of millions of connections per run.
+	// The matrices are only read during the run.
+	Matrices []*features.Matrix
+
+	// Policy is the enterprise configuration policy the console
+	// applies.
+	Policy core.Policy
+	// AttackMagnitudes feed objective-optimizing heuristics (may be
+	// nil for percentile-style heuristics).
+	AttackMagnitudes []float64
+
+	// TrainWeek and TestWeek implement the week-n-train /
+	// week-n+1-test methodology (defaults 0 and 1).
+	TrainWeek, TestWeek int
+	// FlushEvery batches alerts every N windows; zero means one
+	// simulated day. Each flush is also one logical clock tick.
+	FlushEvery int
+
+	// Attack optionally injects a campaign into the test week.
+	Attack *AttackPlan
+	// Collab optionally runs collaborative quorum detection over the
+	// alert batches the console received.
+	Collab *collab.Config
+	// Watch is the feature whose fleet-wide alarm matrix feeds
+	// collaborative detection; the zero value means the default, TCP.
+	// DNS is feature 0 and collides with "unset" — use WatchDNS to
+	// watch it on a clean fleet. An active Attack overrides Watch
+	// with the attacked feature.
+	Watch features.Feature
+
+	// ThresholdTimeout bounds each agent's wait for thresholds
+	// (default 5 minutes — generous because N agents under the race
+	// detector configure slowly, and a deterministic run only ever
+	// times out when genuinely wedged).
+	ThresholdTimeout time.Duration
+	// Logf receives console log lines (default silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Users <= 0 {
+		return c, fmt.Errorf("fleet: Config.Users must be positive, got %d", c.Users)
+	}
+	if c.Matrices != nil {
+		if len(c.Matrices) != c.Users {
+			return c, fmt.Errorf("fleet: %d matrices for %d users", len(c.Matrices), c.Users)
+		}
+		m0 := c.Matrices[0]
+		for u, m := range c.Matrices {
+			if m == nil || m.Bins() != m0.Bins() || m.BinWidth != m0.BinWidth {
+				return c, fmt.Errorf("fleet: matrix %d geometry differs from matrix 0", u)
+			}
+		}
+		c.Weeks = m0.Weeks()
+		c.BinWidth = m0.BinWidth
+	}
+	if c.TrainWeek == 0 && c.TestWeek == 0 {
+		c.TrainWeek, c.TestWeek = 0, 1
+	}
+	if c.TrainWeek < 0 || c.TestWeek < 0 || c.TrainWeek == c.TestWeek {
+		return c, fmt.Errorf("fleet: bad train/test weeks %d/%d", c.TrainWeek, c.TestWeek)
+	}
+	minWeeks := c.TrainWeek + 1
+	if c.TestWeek >= c.TrainWeek {
+		minWeeks = c.TestWeek + 1
+	}
+	if c.Weeks < minWeeks {
+		return c, fmt.Errorf("fleet: %d weeks do not cover train week %d and test week %d",
+			c.Weeks, c.TrainWeek, c.TestWeek)
+	}
+	if c.Policy.Heuristic == nil || c.Policy.Grouping == nil {
+		return c, fmt.Errorf("fleet: Config.Policy incomplete")
+	}
+	if c.Attack.active() && !c.Attack.Feature.Valid() {
+		return c, fmt.Errorf("fleet: invalid attacked feature %d", int(c.Attack.Feature))
+	}
+	switch {
+	case c.Watch == WatchDNS:
+		c.Watch = features.DNS
+	case c.Watch == 0:
+		c.Watch = features.TCP
+	case !c.Watch.Valid():
+		return c, fmt.Errorf("fleet: invalid watch feature %d", int(c.Watch))
+	}
+	if c.Attack.active() {
+		c.Watch = c.Attack.Feature
+	}
+	return c, nil
+}
+
+// WatchDNS is the Config.Watch sentinel for watching
+// num-DNS-connections on a clean fleet: DNS is feature 0, which an
+// untyped Config cannot distinguish from "unset, default to TCP".
+const WatchDNS features.Feature = -1
+
+// Result is everything a fleet run observed, in deterministic order:
+// per-host threshold assignments as pushed over the wire, per-host
+// alarm series as received by the console, and the collaborative
+// fleet-event series. Two runs of the same Config produce
+// reflect.DeepEqual Results.
+type Result struct {
+	// Policy is the console's policy name.
+	Policy string
+	// Users is the fleet size; TestBins the monitored window count.
+	Users, TestBins int
+	// WatchFeature is the feature Alarms/FleetEvents cover.
+	WatchFeature features.Feature
+	// Epoch is the console's final configuration epoch.
+	Epoch int
+
+	// Thresholds[u] is the full six-feature threshold vector host u
+	// received.
+	Thresholds [][features.NumFeatures]float64
+	// Groups[u] is the configuration group host u landed in.
+	Groups []int
+
+	// AlertCounts[u] is the console's tally for host u (all
+	// features); TotalAlerts the fleet-wide sum.
+	AlertCounts []int
+	TotalAlerts int
+
+	// Alarms[u][b] reports whether host u alarmed on the watch
+	// feature in test window b, rebuilt from the console's alert log
+	// (duplicates deduplicated) — the console-side ground truth.
+	Alarms [][]bool
+
+	// AttackedWindows[b] marks the test windows the attack plan made
+	// positive (all false without an attack).
+	AttackedWindows []bool
+
+	// FleetVotes/FleetEvents are the collaborative detector's
+	// per-window weighted votes and quorum events (nil without a
+	// Collab config). FleetConfusion scores events against
+	// AttackedWindows (nil without an active attack).
+	FleetVotes     []int
+	FleetEvents    []bool
+	FleetConfusion *stats.Confusion
+}
+
+// Run executes one fleet simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the per-host matrices: pre-built, or synthesized lazily
+	// inside each agent's goroutine from the seeded population.
+	var matrixOf func(u int) *features.Matrix
+	var bpw int
+	var binWidth time.Duration
+	if cfg.Matrices != nil {
+		matrixOf = func(u int) *features.Matrix { return cfg.Matrices[u] }
+		bpw = cfg.Matrices[0].BinsPerWeek()
+		binWidth = cfg.Matrices[0].BinWidth
+	} else {
+		pop, err := trace.NewPopulation(trace.Config{
+			Users:       cfg.Users,
+			Weeks:       cfg.Weeks,
+			Seed:        cfg.Seed,
+			BinWidth:    cfg.BinWidth,
+			WeeklyTrend: cfg.WeeklyTrend,
+		})
+		if err != nil {
+			return nil, err
+		}
+		matrixOf = func(u int) *features.Matrix { return pop.Users[u].Series() }
+		bpw = pop.Cfg.BinsPerWeek()
+		binWidth = pop.Cfg.BinWidth
+	}
+	flushEvery := cfg.FlushEvery
+	if flushEvery <= 0 {
+		flushEvery = bpw / 7 // one simulated day
+	}
+
+	// Resolve the campaign up front: victim subset and (for Storm)
+	// the shared bot activity series are seeded, not scheduled.
+	var victims map[int]bool
+	var storm []float64
+	if cfg.Attack.active() {
+		if victims, err = cfg.Attack.victimSet(cfg.Users); err != nil {
+			return nil, err
+		}
+		if cfg.Attack.Kind == AttackStorm {
+			if storm, err = cfg.Attack.stormSeries(bpw, binWidth); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	srv, err := console.NewServer(console.ServerConfig{
+		Policy:           cfg.Policy,
+		ExpectedHosts:    cfg.Users,
+		AttackMagnitudes: cfg.AttackMagnitudes,
+		Logf:             cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	network := netsim.NewMemNetwork()
+	ln, err := network.Listen("console")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		_ = srv.Close()
+		<-serveDone
+	}()
+
+	// Connect agents sequentially in user order. The console assigns
+	// thresholds by first-seen host order, so connection order is part
+	// of the deterministic contract — racing the dials here would make
+	// partial-diversity group membership scheduler-dependent.
+	agents := make([]*console.Agent, cfg.Users)
+	defer func() {
+		for _, a := range agents {
+			if a != nil {
+				_ = a.Close()
+			}
+		}
+	}()
+	for u := 0; u < cfg.Users; u++ {
+		conn, err := network.Dial("console")
+		if err != nil {
+			return nil, err
+		}
+		if agents[u], err = console.NewAgent(conn, uint32(u), fmt.Sprintf("host-%d", u)); err != nil {
+			return nil, fmt.Errorf("fleet: connecting host %d: %w", u, err)
+		}
+	}
+
+	// Drive every agent through the shared run loop, replay
+	// synchronized on the logical clock (one tick per flush).
+	trainLo, trainHi := cfg.TrainWeek*bpw, (cfg.TrainWeek+1)*bpw
+	testLo, testHi := cfg.TestWeek*bpw, (cfg.TestWeek+1)*bpw
+	clock := NewClock(cfg.Users)
+	reports := make([]*AgentReport, cfg.Users)
+	errs := make([]error, cfg.Users)
+	var wg sync.WaitGroup
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			m := matrixOf(u)
+			var overlayFn func(console.Thresholds) ([]float64, error)
+			if cfg.Attack.active() {
+				overlayFn = func(thr console.Thresholds) ([]float64, error) {
+					var trainDist *stats.Empirical
+					if cfg.Attack.Kind == AttackMimicry {
+						var err error
+						trainDist, err = m.Distribution(cfg.Attack.Feature, trainLo, trainHi)
+						if err != nil {
+							return nil, err
+						}
+					}
+					return cfg.Attack.overlayFor(u, victims, bpw, storm,
+						trainDist, thr.Values[cfg.Attack.Feature])
+				}
+			}
+			reports[u], errs[u] = RunAgent(AgentRun{
+				Agent:            agents[u],
+				Matrix:           m,
+				TrainLo:          trainLo,
+				TrainHi:          trainHi,
+				MonitorLo:        testLo,
+				MonitorHi:        testHi,
+				FlushEvery:       flushEvery,
+				ThresholdTimeout: cfg.ThresholdTimeout,
+				OverlayFn:        overlayFn,
+				OverlayFeature:   cfg.Attack.featureOrTCP(),
+				Clock:            clock,
+			})
+		}(u)
+	}
+	wg.Wait()
+	// A single failing agent cancels the clock, so most agents finish
+	// with ErrClockCancelled — report the root cause, not the cascade.
+	cancelled := -1
+	for u, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrClockCancelled) {
+			if cancelled < 0 {
+				cancelled = u
+			}
+			continue
+		}
+		return nil, fmt.Errorf("fleet: host %d: %w", u, err)
+	}
+	if cancelled >= 0 {
+		return nil, fmt.Errorf("fleet: host %d: %w", cancelled, ErrClockCancelled)
+	}
+
+	return buildResult(cfg, srv, reports, storm, testLo, testHi)
+}
+
+// featureOrTCP returns the attacked feature, or TCP for a nil plan
+// (the value is unused without an overlay; it just must be valid).
+func (p *AttackPlan) featureOrTCP() features.Feature {
+	if p.active() {
+		return p.Feature
+	}
+	return features.TCP
+}
+
+// buildResult assembles the deterministic Result from the console's
+// state and the per-agent reports.
+func buildResult(cfg Config, srv *console.Server, reports []*AgentReport, storm []float64, testLo, testHi int) (*Result, error) {
+	res := &Result{
+		Policy:       cfg.Policy.Name(),
+		Users:        cfg.Users,
+		TestBins:     testHi - testLo,
+		WatchFeature: cfg.Watch,
+		Epoch:        srv.Epoch(),
+		Thresholds:   make([][features.NumFeatures]float64, cfg.Users),
+		Groups:       make([]int, cfg.Users),
+		AlertCounts:  make([]int, cfg.Users),
+	}
+	for u, rep := range reports {
+		res.Thresholds[u] = rep.Thresholds.Values
+		res.Groups[u] = rep.Thresholds.Group
+		res.AlertCounts[u] = srv.AlertCount(uint32(u))
+		res.TotalAlerts += res.AlertCounts[u]
+	}
+
+	// Rebuild the watch feature's alarm matrix from the console's
+	// alert log: the console-side view of the fleet, deduplicated, so
+	// neither arrival order nor repeated batches can perturb it.
+	tally, err := collab.NewTally(cfg.Users, res.TestBins)
+	if err != nil {
+		return nil, err
+	}
+	for _, batch := range srv.Alerts() {
+		if int(batch.HostID) >= cfg.Users {
+			return nil, fmt.Errorf("fleet: alert from unknown host %d", batch.HostID)
+		}
+		for _, a := range batch.Alerts {
+			if features.Feature(a.Feature) != cfg.Watch {
+				continue
+			}
+			if a.Bin < testLo || a.Bin >= testHi {
+				return nil, fmt.Errorf("fleet: host %d alerted outside the test week (window %d)", batch.HostID, a.Bin)
+			}
+			if err := tally.Mark(int(batch.HostID), a.Bin-testLo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Alarms = tally.Alarms()
+
+	// Positives exist only if some victim actually carried malicious
+	// volume: a mimicry campaign whose per-host size clamps to zero on
+	// every victim injected nothing, so no window is attacked.
+	injected := false
+	for _, rep := range reports {
+		if rep.OverlayActive {
+			injected = true
+			break
+		}
+	}
+	if cfg.Attack.active() && injected {
+		res.AttackedWindows = cfg.Attack.AttackedWindows(res.TestBins, storm)
+	} else {
+		res.AttackedWindows = make([]bool, res.TestBins)
+	}
+
+	if cfg.Collab != nil {
+		det, err := collab.New(*cfg.Collab)
+		if err != nil {
+			return nil, err
+		}
+		if res.FleetVotes, err = det.Votes(res.Alarms); err != nil {
+			return nil, err
+		}
+		if res.FleetEvents, err = det.Events(res.Alarms); err != nil {
+			return nil, err
+		}
+		if cfg.Attack.active() {
+			conf, err := det.Evaluate(res.Alarms, res.AttackedWindows)
+			if err != nil {
+				return nil, err
+			}
+			res.FleetConfusion = &conf
+		}
+	}
+	return res, nil
+}

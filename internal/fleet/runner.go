@@ -1,0 +1,275 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/console"
+	"repro/internal/core"
+	"repro/internal/features"
+)
+
+// AgentRun drives one end-host agent through the full paper loop —
+// upload the training window, receive thresholds, monitor the test
+// window, batch alerts — over an already-connected *console.Agent.
+// It is the run loop cmd/hidsd wraps over TCP and the fleet
+// simulator wraps over the in-memory transport; keeping it shared is
+// what makes the simulator's behavior the daemon's behavior.
+type AgentRun struct {
+	// Agent is the connected end-host agent (the caller dials).
+	Agent *console.Agent
+	// Matrix is the host's full feature matrix.
+	Matrix *features.Matrix
+	// TrainLo/TrainHi is the half-open training bin range uploaded to
+	// the console.
+	TrainLo, TrainHi int
+	// MonitorLo/MonitorHi is the half-open monitored bin range.
+	MonitorLo, MonitorHi int
+	// FlushEvery batches alerts every N monitored windows (the
+	// paper's periodic alert reports); <= 0 means one final batch.
+	FlushEvery int
+	// Epoch is the configuration epoch whose thresholds to wait for.
+	Epoch int
+	// ThresholdTimeout bounds the wait for thresholds (zero: 5m).
+	ThresholdTimeout time.Duration
+	// OverlayFn, when set, is called once thresholds have arrived and
+	// returns the additive attack overlay for the monitored range
+	// (aligned with it, nil for no attack) on OverlayFeature. It runs
+	// post-threshold so mimicry attackers can use the pushed value.
+	OverlayFn func(thr console.Thresholds) ([]float64, error)
+	// OverlayFeature is the feature the overlay adds to.
+	OverlayFeature features.Feature
+	// Clock, when set, synchronizes replay with the rest of a fleet:
+	// one Step per flush interval. Nil runs free (the daemon case).
+	Clock *Clock
+	// Logf receives progress lines (default silent).
+	Logf func(format string, args ...any)
+}
+
+// AgentReport summarizes one agent run.
+type AgentReport struct {
+	// Thresholds is the configuration the console pushed.
+	Thresholds console.Thresholds
+	// AlertsSent counts the alerts flushed to the console.
+	AlertsSent int
+	// Windows counts the monitored windows.
+	Windows int
+	// OverlayActive reports whether the attack overlay injected any
+	// positive volume on this host. A mimicry attacker whose size
+	// clamps to zero (no volume evades the threshold) is inactive.
+	OverlayActive bool
+}
+
+// RunAgent executes the run loop. On any error with a Clock attached,
+// the clock is cancelled so sibling agents do not deadlock on a
+// barrier this agent will never reach.
+func RunAgent(r AgentRun) (rep *AgentReport, err error) {
+	if r.Clock != nil {
+		defer func() {
+			if err != nil {
+				r.Clock.Cancel()
+			}
+		}()
+	}
+	logf := r.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if r.Agent == nil || r.Matrix == nil {
+		return nil, fmt.Errorf("fleet: AgentRun needs Agent and Matrix")
+	}
+	bins := r.Matrix.Bins()
+	if r.TrainLo < 0 || r.TrainHi > bins || r.TrainLo >= r.TrainHi {
+		return nil, fmt.Errorf("fleet: train range [%d, %d) outside [0, %d)", r.TrainLo, r.TrainHi, bins)
+	}
+	if r.MonitorLo < 0 || r.MonitorHi > bins || r.MonitorLo > r.MonitorHi {
+		return nil, fmt.Errorf("fleet: monitor range [%d, %d) outside [0, %d)", r.MonitorLo, r.MonitorHi, bins)
+	}
+	timeout := r.ThresholdTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Minute
+	}
+
+	if err := r.Agent.UploadMatrix(r.Matrix, r.TrainLo, r.TrainHi); err != nil {
+		return nil, fmt.Errorf("fleet: upload: %w", err)
+	}
+	logf("fleet: training distributions uploaded; waiting for thresholds")
+	thr, err := r.waitThresholds(timeout)
+	if err != nil {
+		return nil, err
+	}
+	logf("fleet: thresholds received (policy %s, group %d)", thr.Policy, thr.Group)
+
+	var overlay []float64
+	if r.OverlayFn != nil {
+		if overlay, err = r.OverlayFn(thr); err != nil {
+			return nil, fmt.Errorf("fleet: building attack overlay: %w", err)
+		}
+		if overlay != nil && len(overlay) != r.MonitorHi-r.MonitorLo {
+			return nil, fmt.Errorf("fleet: overlay covers %d windows, monitor range has %d",
+				len(overlay), r.MonitorHi-r.MonitorLo)
+		}
+	}
+
+	rep = &AgentReport{Thresholds: thr, Windows: r.MonitorHi - r.MonitorLo}
+	for _, v := range overlay {
+		if v > 0 {
+			rep.OverlayActive = true
+			break
+		}
+	}
+	for b := r.MonitorLo; b < r.MonitorHi; b++ {
+		vec := r.Matrix.Rows[b]
+		if overlay != nil {
+			vec[r.OverlayFeature] += overlay[b-r.MonitorLo]
+		}
+		if err := r.Agent.ObserveVector(b, vec); err != nil {
+			return nil, fmt.Errorf("fleet: observe window %d: %w", b, err)
+		}
+		if r.FlushEvery > 0 && (b-r.MonitorLo+1)%r.FlushEvery == 0 {
+			rep.AlertsSent += r.Agent.PendingAlerts()
+			if err := r.Agent.Flush(); err != nil {
+				return nil, fmt.Errorf("fleet: flush at window %d: %w", b, err)
+			}
+			if r.Clock != nil {
+				if err := r.Clock.Step(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	rep.AlertsSent += r.Agent.PendingAlerts()
+	if err := r.Agent.Flush(); err != nil {
+		return nil, fmt.Errorf("fleet: final flush: %w", err)
+	}
+	return rep, nil
+}
+
+// waitThresholds blocks until the console pushes this epoch's
+// thresholds. Without a Clock it is a plain bounded wait. With one,
+// it waits in short slices and gives up as soon as the clock is
+// cancelled: when a sibling agent fails before configuration (so
+// thresholds will never come), the whole fleet aborts promptly
+// instead of sitting out the full timeout.
+func (r *AgentRun) waitThresholds(timeout time.Duration) (console.Thresholds, error) {
+	if r.Clock == nil {
+		thr, err := r.Agent.WaitThresholdsEpoch(r.Epoch, timeout)
+		if err != nil {
+			return thr, fmt.Errorf("fleet: thresholds: %w", err)
+		}
+		return thr, nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		slice := 200 * time.Millisecond
+		if remain := time.Until(deadline); remain < slice {
+			slice = remain
+		}
+		if slice <= 0 {
+			return console.Thresholds{}, fmt.Errorf("fleet: thresholds: %w", console.ErrThresholdsTimeout)
+		}
+		thr, err := r.Agent.WaitThresholdsEpoch(r.Epoch, slice)
+		switch {
+		case err == nil:
+			return thr, nil
+		case r.Clock.Cancelled():
+			return thr, ErrClockCancelled
+		case !errors.Is(err, console.ErrThresholdsTimeout):
+			return thr, fmt.Errorf("fleet: thresholds: %w", err)
+		}
+	}
+}
+
+// ParseGrouping resolves a grouping policy by its CLI name: "homog",
+// "full", or "partialN" (e.g. partial8).
+func ParseGrouping(name string) (core.Grouping, error) {
+	switch {
+	case name == "homog":
+		return core.Homogeneous{}, nil
+	case name == "full":
+		return core.FullDiversity{}, nil
+	case strings.HasPrefix(name, "partial"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "partial"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("fleet: bad partial-diversity group count in %q", name)
+		}
+		return core.PartialDiversity{NumGroups: n}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown grouping policy %q (want homog, full, partialN)", name)
+	}
+}
+
+// ParseHeuristic resolves a threshold heuristic by its CLI name —
+// "p99", "p999", "utilityW" (e.g. utility0.4), "meanKsigma" (e.g.
+// mean3sigma) — and returns the default attack magnitudes
+// objective-optimizing heuristics need (nil for the others).
+func ParseHeuristic(name string) (core.Heuristic, []float64, error) {
+	switch {
+	case name == "p99":
+		return core.Percentile{Q: 0.99}, nil, nil
+	case name == "p999":
+		return core.Percentile{Q: 0.999}, nil, nil
+	case strings.HasPrefix(name, "utility"):
+		w, err := strconv.ParseFloat(strings.TrimPrefix(name, "utility"), 64)
+		if err != nil || w < 0 || w > 1 {
+			return nil, nil, fmt.Errorf("fleet: bad utility weight in %q", name)
+		}
+		return core.UtilityOptimal{W: w}, []float64{10, 50, 100, 500, 1000}, nil
+	case strings.HasPrefix(name, "mean") && strings.HasSuffix(name, "sigma"):
+		k, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(name, "mean"), "sigma"), 64)
+		if err != nil || k <= 0 {
+			return nil, nil, fmt.Errorf("fleet: bad sigma multiple in %q", name)
+		}
+		return core.MeanSigma{K: k}, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("fleet: unknown heuristic %q (want p99, p999, utilityW, meanKsigma)", name)
+	}
+}
+
+// ConsoleSpec is the CLI-level description of a console server, the
+// part of cmd/consoled that is policy rather than transport.
+type ConsoleSpec struct {
+	// Grouping and Heuristic are CLI names (see ParseGrouping,
+	// ParseHeuristic).
+	Grouping, Heuristic string
+	// Hosts is the number of hosts to wait for before configuring.
+	Hosts int
+	// Logf receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Build parses the spec and constructs the console server.
+func (s ConsoleSpec) Build() (*console.Server, error) {
+	g, err := ParseGrouping(s.Grouping)
+	if err != nil {
+		return nil, err
+	}
+	h, mags, err := ParseHeuristic(s.Heuristic)
+	if err != nil {
+		return nil, err
+	}
+	return console.NewServer(console.ServerConfig{
+		Policy:           core.Policy{Heuristic: h, Grouping: g},
+		ExpectedHosts:    s.Hosts,
+		AttackMagnitudes: mags,
+		Logf:             s.Logf,
+	})
+}
+
+// WriteConsoleSummary renders the end-of-run report cmd/consoled
+// prints on shutdown: per-host alert counts and the group structure.
+func WriteConsoleSummary(w io.Writer, srv *console.Server) {
+	fmt.Fprintf(w, "\n=== console summary ===\n")
+	fmt.Fprintf(w, "hosts seen: %d\n", len(srv.Hosts()))
+	fmt.Fprintf(w, "total alerts: %d\n", srv.TotalAlerts())
+	for _, id := range srv.Hosts() {
+		fmt.Fprintf(w, "  host %3d: %d alerts\n", id, srv.AlertCount(id))
+	}
+	if asn := srv.Assignment(features.TCP); asn != nil {
+		fmt.Fprintf(w, "TCP groups: %d\n", len(asn.Groups))
+	}
+}

@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// MemNetwork is an in-process network fabric: listeners bind names,
+// dialers are handed the peer end of a synchronous net.Pipe. It lets
+// the console server and thousands of agent goroutines speak the real
+// wire protocol with no sockets, no ports and no kernel buffering —
+// the transport layer of the fleet simulator (internal/fleet).
+//
+// Because net.Pipe is fully synchronous, a MemNetwork adds no timing
+// of its own: message interleaving is determined entirely by the
+// goroutines driving the connections, which is what lets a seeded
+// fleet run reproduce byte-identical protocol exchanges.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*MemListener
+}
+
+// NewMemNetwork creates an empty in-process network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*MemListener)}
+}
+
+// memAddr is the net.Addr of a MemNetwork endpoint.
+type memAddr string
+
+// Network implements net.Addr.
+func (memAddr) Network() string { return "mem" }
+
+// String implements net.Addr.
+func (a memAddr) String() string { return string(a) }
+
+// MemListener implements net.Listener over a MemNetwork name.
+type MemListener struct {
+	network *MemNetwork
+	addr    memAddr
+	conns   chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Listen binds name on the network. Binding an already-bound name
+// fails, like a port collision.
+func (n *MemNetwork) Listen(name string) (*MemListener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.listeners[name]; dup {
+		return nil, fmt.Errorf("netsim: address %q already bound", name)
+	}
+	l := &MemListener{
+		network: n,
+		addr:    memAddr(name),
+		conns:   make(chan net.Conn),
+		done:    make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects to the listener bound at name and returns the client
+// end of the pipe. It fails if nothing is listening or the listener
+// has closed.
+func (n *MemNetwork) Dial(name string) (net.Conn, error) {
+	n.mu.Lock()
+	l := n.listeners[name]
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("netsim: dial %q: connection refused", name)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("netsim: dial %q: %w", name, net.ErrClosed)
+	}
+}
+
+// Accept implements net.Listener.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.conns:
+		return conn, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener: it unbinds the name and fails all
+// pending and future Dial/Accept calls. Close is idempotent.
+func (l *MemListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.network.mu.Lock()
+		if l.network.listeners[string(l.addr)] == l {
+			delete(l.network.listeners, string(l.addr))
+		}
+		l.network.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *MemListener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestMemNetworkRoundTrip(t *testing.T) {
+	n := NewMemNetwork()
+	ln, err := n.Listen("console")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if ln.Addr().Network() != "mem" || ln.Addr().String() != "console" {
+		t.Fatalf("addr = %v/%v", ln.Addr().Network(), ln.Addr())
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+
+	conn, err := n.Dial("console")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	echo := make([]byte, 5)
+	if _, err := io.ReadFull(conn, echo); err != nil {
+		t.Fatal(err)
+	}
+	if string(echo) != "hello" {
+		t.Fatalf("echo = %q", echo)
+	}
+	wg.Wait()
+}
+
+func TestMemNetworkDialUnbound(t *testing.T) {
+	n := NewMemNetwork()
+	if _, err := n.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unbound name succeeded")
+	}
+}
+
+func TestMemNetworkDuplicateBind(t *testing.T) {
+	n := NewMemNetwork()
+	ln, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); err == nil {
+		t.Fatal("duplicate bind succeeded")
+	}
+	// Closing frees the name for rebinding.
+	_ = ln.Close()
+	ln2, err := n.Listen("x")
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	_ = ln2.Close()
+}
+
+func TestMemListenerClose(t *testing.T) {
+	n := NewMemNetwork()
+	ln, err := n.Listen("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != net.ErrClosed {
+		t.Fatalf("accept after close: %v", err)
+	}
+	if _, err := n.Dial("c"); err == nil {
+		t.Fatal("dial after close succeeded")
+	}
+	// Idempotent.
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemConnPeerCloseGivesEOF(t *testing.T) {
+	n := NewMemNetwork()
+	ln, err := n.Listen("eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			close(accepted)
+			return
+		}
+		accepted <- conn
+	}()
+	client, err := n.Dial("eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	if server == nil {
+		t.Fatal("no server conn")
+	}
+	_ = client.Close()
+	// The console server relies on a closing agent surfacing as io.EOF
+	// so the disconnect is treated as a clean shutdown.
+	if _, err := server.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after peer close: %v, want io.EOF", err)
+	}
+	_ = server.Close()
+}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"testing"
+
+	"repro/internal/xrand"
 )
 
 // The *Sorted fast-path functions must agree exactly with the
@@ -28,6 +30,73 @@ func TestSortedFastPathMatchesEmpirical(t *testing.T) {
 		}
 		if got, want := TailProbSorted(sorted, x), e.TailProb(x); got != want {
 			t.Fatalf("TailProbSorted(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+// TestSortedFastPathRandomizedSweep is the property-based counterpart
+// of the hand-picked cases above: across many random sample sets —
+// mixed continuous and integer-valued (ties!), spanning decades like
+// real feature columns — the *Sorted fast-path functions must agree
+// bit-for-bit with the Empirical methods on random query points.
+// Seeds are fixed so a failure reproduces exactly.
+func TestSortedFastPathRandomizedSweep(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 0xbeef, 0xf1f0} {
+		r := xrand.New(seed)
+		for trial := 0; trial < 40; trial++ {
+			n := 1 + r.Intn(300)
+			samples := make([]float64, n)
+			for i := range samples {
+				switch r.Intn(3) {
+				case 0: // integer counters with heavy ties
+					samples[i] = float64(r.Intn(20))
+				case 1: // continuous body
+					samples[i] = 100 * r.Float64()
+				default: // heavy tail spanning decades
+					samples[i] = math.Exp(8 * r.Float64())
+				}
+			}
+			e := MustEmpirical(samples)
+			sorted := append([]float64(nil), samples...)
+			sort.Float64s(sorted)
+
+			for k := 0; k < 25; k++ {
+				q := r.Float64()
+				want := e.MustQuantile(q)
+				got, err := QuantileSorted(sorted, q)
+				if err != nil || got != want {
+					t.Fatalf("seed %#x trial %d: QuantileSorted(%v) = %v, %v; want %v",
+						seed, trial, q, got, err, want)
+				}
+			}
+			// Query at random points, at exact sample values (the
+			// boundary CDF cares about), and beyond both ends.
+			queries := []float64{
+				sorted[0] - 1, sorted[n-1] + 1,
+				sorted[r.Intn(n)], sorted[r.Intn(n)],
+			}
+			for k := 0; k < 20; k++ {
+				queries = append(queries, sorted[0]+(sorted[n-1]-sorted[0])*r.Float64())
+			}
+			for _, x := range queries {
+				if got, want := CDFSorted(sorted, x), e.CDF(x); got != want {
+					t.Fatalf("seed %#x trial %d: CDFSorted(%v) = %v, want %v", seed, trial, x, got, want)
+				}
+				if got, want := TailProbSorted(sorted, x), e.TailProb(x); got != want {
+					t.Fatalf("seed %#x trial %d: TailProbSorted(%v) = %v, want %v", seed, trial, x, got, want)
+				}
+			}
+			// The zero-copy constructor over the same sorted data must
+			// answer identically to the copy-and-sort constructor.
+			ze, err := NewEmpiricalFromSorted(sorted)
+			if err != nil {
+				t.Fatalf("seed %#x trial %d: %v", seed, trial, err)
+			}
+			for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+				if ze.MustQuantile(q) != e.MustQuantile(q) {
+					t.Fatalf("seed %#x trial %d: zero-copy quantile(%v) mismatch", seed, trial, q)
+				}
+			}
 		}
 	}
 }
