@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak bench experiments
+.PHONY: all build vet test race verify soak bench bench-check experiments
 
 all: verify
 
@@ -36,6 +36,13 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | tee /tmp/bench_repro.txt
 	./scripts/bench_json.sh /tmp/bench_repro.txt scripts/seed_baseline.bench > BENCH_repro.json
 	@echo wrote BENCH_repro.json
+
+# bench-check re-measures the suite and fails if any benchmark
+# regressed >20% in ns/op vs the committed BENCH_repro.json. Run it
+# before a perf PR; `make bench` afterwards to refresh the baseline.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchmem . | tee /tmp/bench_check.txt
+	./scripts/bench_json.sh -check /tmp/bench_check.txt BENCH_repro.json
 
 experiments:
 	$(GO) run ./cmd/experiments

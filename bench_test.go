@@ -12,6 +12,7 @@ package repro
 //	go test -bench=. -benchmem .
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/stats"
+	"repro/internal/xrand"
 )
 
 var (
@@ -251,6 +253,39 @@ func BenchmarkAblationHeuristics(b *testing.B) {
 	}
 }
 
+// BenchmarkHeuristicThreshold isolates one Threshold call per
+// heuristic family on a single user-week training column (672
+// windows) with the standard 24-point attack sweep — the unit of work
+// the threshold-frontier engine optimizes. Percentile is the
+// O(1)-after-sort floor the objective heuristics are measured
+// against.
+func BenchmarkHeuristicThreshold(b *testing.B) {
+	r := xrand.New(41)
+	v := make([]float64, 672)
+	for i := range v {
+		v[i] = math.Floor(r.LogNormal(3, 1.2))
+	}
+	train := stats.MustEmpirical(v)
+	sweep := geomSpace(1, train.Max(), 24)
+	for _, tc := range []struct {
+		name string
+		h    core.Heuristic
+	}{
+		{"percentile", core.Percentile{Q: 0.99}},
+		{"utility", core.UtilityOptimal{W: 0.4}},
+		{"f-measure", core.FMeasureOptimal{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.h.Threshold(train, sweep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationDrift measures the week-over-week threshold
 // instability the paper reports in §6.1: the mean realized FP rate
 // when a 99th-percentile threshold from week 1 is applied to week 2
@@ -325,6 +360,17 @@ func BenchmarkScaleFig3aUsers5000(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig3a(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleFig3bUsers5000(b *testing.B) {
+	e := scaleEnterprise(b)
+	cfg := DefaultExperimentConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig3b(e, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -485,12 +485,19 @@ type Fig4aResult struct {
 // injects that size into every window of one working day of the test
 // week on every host; a user "raises an alarm" if any attacked
 // window alarms. Detection is averaged over several attack days.
+//
+// The sweep is incremental: the workspace's per-day sorted columns
+// are built once, and because the overlay is a constant b per day,
+// each (policy, size, day, user) cell is one binary-search count of
+// windows with g+b > T (stats.CountShiftedAbove — exact, since float
+// addition is monotone) instead of a walk over every window of the
+// day for every magnitude.
 func Fig4a(e *Enterprise, cfg ExperimentConfig) (*Fig4aResult, error) {
 	ws := e.workspace()
-	test := ws.Raw(cfg.Feature, cfg.TestWeek)
+	users := ws.Users()
 	sweep := ws.Sweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
 	res := &Fig4aResult{Sizes: append([]float64(nil), sweep...)}
-	binsPerDay := ws.BinsPerWeek() / 7
+	days := ws.DaySorted(cfg.Feature, cfg.TestWeek)
 
 	// The three assignments are cached in the workspace. Percentile
 	// heuristics ignore attack magnitudes, so the nil-sweep cache key
@@ -518,20 +525,12 @@ func Fig4a(e *Enterprise, cfg ExperimentConfig) (*Fig4aResult, error) {
 		var total float64
 		for _, day := range attackDays {
 			alarming := 0
-			for u := range test {
-				from := day * binsPerDay
-				to := from + binsPerDay
-				detected := false
-				for b := from; b < to && !detected; b++ {
-					if test[u][b]+size > asn.Thresholds[u] {
-						detected = true
-					}
-				}
-				if detected {
+			for u := 0; u < users; u++ {
+				if stats.CountShiftedAbove(days[u][day], size, asn.Thresholds[u]) > 0 {
 					alarming++
 				}
 			}
-			total += float64(alarming) / float64(len(test))
+			total += float64(alarming) / float64(users)
 		}
 		res.Fraction[p][k] = total / float64(len(attackDays))
 	})
@@ -644,14 +643,19 @@ type Fig5Result struct {
 
 // fig5 evaluates two groupings against the Storm overlay. The Storm
 // synthesis is memoized per (bins, seed), the thresholds come from
-// the workspace's assignment cache, and the per-user scoring fans
-// out over the worker pool.
+// the workspace's assignment cache, and the per-user confusion
+// matrices are read off pre-sorted columns: the workspace's
+// SplitOverlay decomposes the overlaid week once into sorted benign /
+// attacked observed values (the same g+a sums a window walk would
+// compare), after which each user's ⟨FP, 1−FN⟩ point is three binary
+// searches instead of two full passes over the week per policy.
 func fig5(e *Enterprise, cfg ExperimentConfig, groupings [2]core.Grouping) (*Fig5Result, error) {
 	f := features.Distinct // the paper's Fig 5 feature
 	ws := e.workspace()
-	test := ws.Raw(f, cfg.TestWeek)
 	bins := ws.BinsPerWeek()
-	ov, err := ws.Memo(fmt.Sprintf("storm/%d/%d", bins, cfg.Seed), func() (any, error) {
+	users := ws.Users()
+	stormKey := fmt.Sprintf("storm/%d/%d", bins, cfg.Seed)
+	ov, err := ws.Memo(stormKey, func() (any, error) {
 		bot, err := attack.NewStorm(attack.StormConfig{
 			Bins:     bins,
 			BinWidth: ws.BinWidth(),
@@ -666,6 +670,11 @@ func fig5(e *Enterprise, cfg ExperimentConfig, groupings [2]core.Grouping) (*Fig
 		return nil, err
 	}
 	overlay := ov.([]float64)
+	clean := ws.Sorted(f, cfg.TestWeek)
+	split, err := ws.SplitOverlay(f, cfg.TestWeek, overlay, stormKey)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Fig5Result{}
 	for i, g := range groupings {
@@ -675,28 +684,25 @@ func fig5(e *Enterprise, cfg ExperimentConfig, groupings [2]core.Grouping) (*Fig
 			return nil, err
 		}
 		res.PolicyNames[i] = pol.Name()
-		res.Points[i] = make([]Fig5Point, len(test))
-		err = par.ForEachErr(len(test), 0, func(u int) error {
+		res.Points[i] = make([]Fig5Point, users)
+		par.ForEach(users, 0, func(u int) {
+			thr := asn.Thresholds[u]
 			// FP on the clean test week; FN on the overlaid week, in
 			// which every window is attacked (the bot never sleeps).
-			fpConf, err := core.Evaluate(test[u], nil, asn.Thresholds[u])
-			if err != nil {
-				return err
-			}
-			fnConf, err := core.Evaluate(test[u], overlay, asn.Thresholds[u])
-			if err != nil {
-				return err
+			fp := stats.CountAboveSorted(clean[u], thr)
+			fpConf := stats.Confusion{FP: fp, TN: bins - fp}
+			tp := stats.CountAboveSorted(split.Attacked[u], thr)
+			bfp := stats.CountAboveSorted(split.Benign[u], thr)
+			fnConf := stats.Confusion{
+				TP: tp, FN: len(split.Attacked[u]) - tp,
+				FP: bfp, TN: len(split.Benign[u]) - bfp,
 			}
 			res.Points[i][u] = Fig5Point{
 				User:          u,
 				FP:            fpConf.FalsePositiveRate(),
 				DetectionRate: fnConf.Recall(),
 			}
-			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
 	}
 	return res, nil
 }

@@ -19,7 +19,12 @@
 //     stats fast path with no per-call allocation;
 //   - TailStats / Sweep / Assignment / Memo: memoized quantile
 //     vectors, attack sweeps, threshold configurations and arbitrary
-//     derived artifacts keyed by their parameters.
+//     derived artifacts keyed by their parameters;
+//   - Frontiers / DaySorted / SplitOverlay: the threshold-frontier
+//     engine's memoized per-user frontiers (shared by every
+//     objective-optimizing heuristic under one attack sweep) and the
+//     pre-sorted attacked-window views that turn the Fig 4a/5a/5b
+//     attack sweeps into binary-search counting.
 //
 // Everything returned by a Workspace is shared and must be treated
 // as read-only; all methods are safe for concurrent use.
@@ -267,17 +272,151 @@ func (w *Workspace) Sweep(f features.Feature, trainWeek, n int) []float64 {
 // Assignment returns the memoized threshold configuration of one
 // policy on one feature's training week. sweepKey must uniquely
 // identify the attack-magnitude input (use "" for nil magnitudes):
-// the cache key is (feature, week, policy name, sweepKey). The
-// returned assignment is shared and must not be modified.
+// the cache key is (feature, week, policy name, sweepKey). When the
+// policy's heuristic optimizes an objective over the threshold
+// frontier, the configuration reuses the workspace's memoized
+// per-user frontiers, so every frontier-scoring heuristic under the
+// same sweep shares one frontier build per user. The returned
+// assignment is shared and must not be modified.
 func (w *Workspace) Assignment(f features.Feature, trainWeek int, pol core.Policy, attack []float64, sweepKey string) (*core.Assignment, error) {
 	key := fmt.Sprintf("asn/%d/%d/%s/%s", int(f), trainWeek, pol.Name(), sweepKey)
 	v, err := w.Memo(key, func() (any, error) {
-		return core.Configure(w.Dists(f, trainWeek), pol, attack)
+		in := core.ConfigureInput{Train: w.Dists(f, trainWeek), Policy: pol, Attack: attack}
+		if _, ok := pol.Heuristic.(core.FrontierScorer); ok && len(attack) > 0 {
+			fronts, err := w.Frontiers(f, trainWeek, attack, sweepKey)
+			if err != nil {
+				return nil, err
+			}
+			in.UserFrontiers = fronts
+		}
+		return core.ConfigureWith(in)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*core.Assignment), nil
+}
+
+// Frontiers returns every user's memoized threshold frontier of one
+// feature's training week for one attack-magnitude set — the shared
+// substrate of all objective-optimizing heuristics (utility for any
+// weight, F-measure) under that sweep. sweepKey must uniquely
+// identify attack, exactly as for Assignment: the cache key is
+// (user, feature, week, sweepKey) with the user as the slice index.
+// Each frontier compresses its user's sorted column into unique
+// values plus a precomputed CDF and owns only that plus its sweep
+// scratch; the returned slice and frontiers are shared and must be
+// treated as read-only.
+func (w *Workspace) Frontiers(f features.Feature, week int, attack []float64, sweepKey string) ([]*stats.Frontier, error) {
+	key := fmt.Sprintf("frontier/%d/%d/%s", int(f), week, sweepKey)
+	v, err := w.Memo(key, func() (any, error) {
+		dists := w.Dists(f, week)
+		out := make([]*stats.Frontier, w.users)
+		err := par.ForEachErr(w.users, 0, func(u int) error {
+			fr, err := stats.NewFrontier(dists[u], attack)
+			if err != nil {
+				return fmt.Errorf("analysis: user %d %s week %d frontier: %w", u, f, week, err)
+			}
+			out[u] = fr
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*stats.Frontier), nil
+}
+
+// DaySorted returns, for every user, the per-day sorted window values
+// of one feature-week: out[u][d] holds day d's windows of user u's
+// column, sorted ascending. Fig 4a's day-long constant-overlay attack
+// sweeps read their TP counts off these columns with one binary
+// search per (policy, size, day, user) instead of re-walking every
+// window per magnitude. The result is memoized; slices are shared and
+// read-only.
+func (w *Workspace) DaySorted(f features.Feature, week int) [][][]float64 {
+	key := fmt.Sprintf("daysorted/%d/%d", int(f), week)
+	v, _ := w.Memo(key, func() (any, error) {
+		raw := w.Raw(f, week)
+		binsPerDay := w.binsPerWeek / 7
+		out := make([][][]float64, w.users)
+		par.ForEach(w.users, 0, func(u int) {
+			buf := make([]float64, 7*binsPerDay)
+			days := make([][]float64, 7)
+			for d := 0; d < 7; d++ {
+				col := buf[d*binsPerDay : (d+1)*binsPerDay]
+				copy(col, raw[u][d*binsPerDay:(d+1)*binsPerDay])
+				sort.Float64s(col)
+				days[d] = col
+			}
+			out[u] = days
+		})
+		return out, nil
+	})
+	return v.([][][]float64)
+}
+
+// OverlaySplit is the benign/attacked decomposition of one overlaid
+// test week, pre-sorted for binary-search confusion counting.
+type OverlaySplit struct {
+	// Benign[u] holds the sorted observed values of user u's
+	// zero-overlay windows; Attacked[u] the sorted observed values
+	// (window + overlay) of the attacked (overlay > 0) windows.
+	Benign, Attacked [][]float64
+}
+
+// SplitOverlay returns the memoized benign/attacked split of one
+// feature-week under an additive overlay. overlayKey must uniquely
+// identify overlay (same contract as Assignment's sweepKey); overlay
+// must be non-negative and cover exactly one week of windows. Every
+// per-user confusion matrix of the overlaid week then reduces to two
+// binary searches (stats.CountAboveSorted on each half) — the values
+// are the identical g+a sums a window-by-window core.Evaluate walk
+// would compare, so the counts match it exactly. Shared, read-only.
+func (w *Workspace) SplitOverlay(f features.Feature, week int, overlay []float64, overlayKey string) (*OverlaySplit, error) {
+	key := fmt.Sprintf("split/%d/%d/%s", int(f), week, overlayKey)
+	v, err := w.Memo(key, func() (any, error) {
+		if len(overlay) != w.binsPerWeek {
+			return nil, fmt.Errorf("analysis: overlay covers %d windows, week has %d", len(overlay), w.binsPerWeek)
+		}
+		attacked := 0
+		for b, a := range overlay {
+			if a < 0 {
+				return nil, fmt.Errorf("analysis: negative overlay %g at window %d", a, b)
+			}
+			if a > 0 {
+				attacked++
+			}
+		}
+		raw := w.Raw(f, week)
+		out := &OverlaySplit{
+			Benign:   make([][]float64, w.users),
+			Attacked: make([][]float64, w.users),
+		}
+		par.ForEach(w.users, 0, func(u int) {
+			att := make([]float64, 0, attacked)
+			ben := make([]float64, 0, w.binsPerWeek-attacked)
+			for b, a := range overlay {
+				if a > 0 {
+					att = append(att, raw[u][b]+a)
+				} else {
+					ben = append(ben, raw[u][b])
+				}
+			}
+			sort.Float64s(att)
+			sort.Float64s(ben)
+			out.Attacked[u], out.Benign[u] = att, ben
+		})
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*OverlaySplit), nil
 }
 
 // GeomSpace returns n geometrically spaced values over [lo, hi],

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -192,6 +193,175 @@ func TestGeomSpaceGuards(t *testing.T) {
 	for i, want := range []float64{1, 10, 100} {
 		if math.Abs(v[i]-want) > 1e-9 {
 			t.Fatalf("GeomSpace(1,100,3) = %v", v)
+		}
+	}
+}
+
+// TestFrontiersMemoizedAndIdentical pins the workspace's per-user
+// frontiers to fresh builds from the same distributions, and the
+// frontier-backed Assignment to a frontier-free core.Configure.
+func TestFrontiersMemoizedAndIdentical(t *testing.T) {
+	ws := New(testMatrices(9, 2))
+	attack := GeomSpace(1, 500, 6)
+	fronts, err := ws.Frontiers(features.TCP, 0, attack, "sp6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ws.Frontiers(features.TCP, 0, attack, "sp6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &fronts[0] != &again[0] {
+		t.Fatal("frontiers not memoized: second call rebuilt the slice")
+	}
+	u := core.UtilityOptimal{W: 0.4}
+	dists := ws.Dists(features.TCP, 0)
+	for i, fr := range fronts {
+		fresh, err := stats.NewFrontier(dists[i], attack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := fr.Maximize(u.Score), fresh.Maximize(u.Score); got != want {
+			t.Fatalf("user %d: memoized frontier threshold %v != fresh %v", i, got, want)
+		}
+	}
+	for _, h := range []core.Heuristic{core.UtilityOptimal{W: 0.4}, core.FMeasureOptimal{}} {
+		pol := core.Policy{Heuristic: h, Grouping: core.FullDiversity{}}
+		asn, err := ws.Assignment(features.TCP, 0, pol, attack, "sp6")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := core.Configure(dists, pol, attack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Thresholds {
+			if asn.Thresholds[i] != ref.Thresholds[i] {
+				t.Fatalf("%s: user %d cached-frontier threshold %v != plain Configure %v",
+					pol.Name(), i, asn.Thresholds[i], ref.Thresholds[i])
+			}
+		}
+	}
+}
+
+// TestDaySortedMatchesRaw checks the per-day sorted columns are exact
+// sorted permutations of the raw day slices and are memoized.
+func TestDaySortedMatchesRaw(t *testing.T) {
+	ws := New(testMatrices(4, 2))
+	days := ws.DaySorted(features.UDP, 1)
+	raw := ws.Raw(features.UDP, 1)
+	binsPerDay := ws.BinsPerWeek() / 7
+	for u := range days {
+		if len(days[u]) != 7 {
+			t.Fatalf("user %d has %d days", u, len(days[u]))
+		}
+		for d := 0; d < 7; d++ {
+			want := append([]float64(nil), raw[u][d*binsPerDay:(d+1)*binsPerDay]...)
+			sort.Float64s(want)
+			got := days[u][d]
+			if len(got) != len(want) {
+				t.Fatalf("user %d day %d: %d windows, want %d", u, d, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("user %d day %d window %d: %v != %v", u, d, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if again := ws.DaySorted(features.UDP, 1); &again[0] != &days[0] {
+		t.Fatal("day-sorted columns not memoized")
+	}
+}
+
+// TestSplitOverlayMatchesEvaluate pins the sorted benign/attacked
+// decomposition against a window-by-window core.Evaluate: identical
+// confusion counts for every user and threshold.
+func TestSplitOverlayMatchesEvaluate(t *testing.T) {
+	ws := New(testMatrices(6, 2))
+	bins := ws.BinsPerWeek()
+	overlay := make([]float64, bins)
+	for b := range overlay {
+		if b%3 == 0 {
+			overlay[b] = float64(5 + b%17)
+		}
+	}
+	split, err := ws.SplitOverlay(features.TCP, 1, overlay, "test-overlay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := ws.Raw(features.TCP, 1)
+	for u := range raw {
+		for _, thr := range []float64{0, 10, 33.5, 90, 1e9} {
+			want, err := core.Evaluate(raw[u], overlay, thr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp := stats.CountAboveSorted(split.Attacked[u], thr)
+			fp := stats.CountAboveSorted(split.Benign[u], thr)
+			got := stats.Confusion{
+				TP: tp, FN: len(split.Attacked[u]) - tp,
+				FP: fp, TN: len(split.Benign[u]) - fp,
+			}
+			if got != want {
+				t.Fatalf("user %d thr %g: split confusion %+v != Evaluate %+v", u, thr, got, want)
+			}
+		}
+	}
+	if _, err := ws.SplitOverlay(features.TCP, 1, overlay[:3], "short"); err == nil {
+		t.Fatal("short overlay accepted")
+	}
+	neg := make([]float64, bins)
+	neg[0] = -1
+	if _, err := ws.SplitOverlay(features.TCP, 1, neg, "neg"); err == nil {
+		t.Fatal("negative overlay accepted")
+	}
+}
+
+// TestAssignmentsConcurrentFrontierSharing rebuilds the production
+// race scenario: the three grouping policies of one objective
+// heuristic configure in parallel (as evalPolicies does), and with a
+// small population both full diversity and 8-partial produce
+// singleton groups — so two goroutines sweep the same memoized
+// per-user frontier simultaneously. Run under -race; thresholds must
+// also match a serial reference workspace exactly.
+func TestAssignmentsConcurrentFrontierSharing(t *testing.T) {
+	ms := testMatrices(20, 2)
+	attack := GeomSpace(1, 300, 8)
+	h := core.UtilityOptimal{W: 0.4}
+	pols := []core.Policy{
+		{Heuristic: h, Grouping: core.Homogeneous{}},
+		{Heuristic: h, Grouping: core.FullDiversity{}},
+		{Heuristic: h, Grouping: core.PartialDiversity{NumGroups: 8}},
+	}
+	for round := 0; round < 10; round++ {
+		ws := New(ms)
+		got := make([]*core.Assignment, len(pols))
+		var wg sync.WaitGroup
+		for p := range pols {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				asn, err := ws.Assignment(features.TCP, 0, pols[p], attack, "sp8")
+				if err != nil {
+					panic(err)
+				}
+				got[p] = asn
+			}(p)
+		}
+		wg.Wait()
+		ref := New(ms) // serial reference
+		for p, pol := range pols {
+			want, err := ref.Assignment(features.TCP, 0, pol, attack, "sp8")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range want.Thresholds {
+				if got[p].Thresholds[u] != want.Thresholds[u] {
+					t.Fatalf("round %d %s: user %d threshold %v != serial %v",
+						round, pol.Name(), u, got[p].Thresholds[u], want.Thresholds[u])
+				}
+			}
 		}
 	}
 }

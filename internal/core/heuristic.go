@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/stats"
 )
@@ -56,6 +55,22 @@ func (m MeanSigma) Threshold(train *stats.Empirical, _ []float64) (float64, erro
 	return train.Mean() + m.K*train.StdDev(), nil
 }
 
+// FrontierScorer is a Heuristic that selects its threshold by
+// maximizing an objective over the threshold frontier (stats.Frontier
+// — the exact ⟨threshold, fp, fn⟩ triples of every candidate
+// threshold). Implementations live in this package; external callers
+// may type-assert on it to share one frontier build across several
+// objective heuristics (see analysis.Workspace.Frontiers).
+type FrontierScorer interface {
+	Heuristic
+	// Score evaluates the objective at one frontier operating point;
+	// the heuristic's threshold is the frontier point maximizing it.
+	Score(fp, fn float64) float64
+	// validateScorer checks the heuristic's parameters, returning the
+	// same error Threshold would.
+	validateScorer() error
+}
+
 // UtilityOptimal picks the threshold maximizing the paper's utility
 //
 //	U(T) = 1 − [w·FN(T) + (1−w)·FP(T)]
@@ -72,14 +87,24 @@ type UtilityOptimal struct {
 // Name implements Heuristic.
 func (u UtilityOptimal) Name() string { return fmt.Sprintf("utility(w=%g)", u.W) }
 
+// Score implements FrontierScorer.
+func (u UtilityOptimal) Score(fp, fn float64) float64 {
+	return stats.Utility(fn, fp, u.W)
+}
+
+func (u UtilityOptimal) validateScorer() error {
+	if u.W < 0 || u.W > 1 {
+		return fmt.Errorf("core: utility weight %g outside [0, 1]", u.W)
+	}
+	return nil
+}
+
 // Threshold implements Heuristic.
 func (u UtilityOptimal) Threshold(train *stats.Empirical, attack []float64) (float64, error) {
-	if u.W < 0 || u.W > 1 {
-		return 0, fmt.Errorf("core: utility weight %g outside [0, 1]", u.W)
+	if err := u.validateScorer(); err != nil {
+		return 0, err
 	}
-	return optimizeOverCandidates(train, attack, func(fp, fn float64) float64 {
-		return stats.Utility(fn, fp, u.W)
-	})
+	return maximizeOverFrontier(train, attack, u.Score)
 }
 
 // FMeasureOptimal picks the threshold maximizing the F1 measure (the
@@ -90,62 +115,44 @@ type FMeasureOptimal struct{}
 // Name implements Heuristic.
 func (FMeasureOptimal) Name() string { return "f-measure" }
 
-// Threshold implements Heuristic.
-func (FMeasureOptimal) Threshold(train *stats.Empirical, attack []float64) (float64, error) {
-	return optimizeOverCandidates(train, attack, func(fp, fn float64) float64 {
-		recall := 1 - fn
-		// Equal priors: P(attack) = P(benign) = 0.5, so precision =
-		// recall / (recall + fp).
-		if recall+fp == 0 {
-			return 0
-		}
-		precision := recall / (recall + fp)
-		return stats.HarmonicMean(precision, recall)
-	})
+// Score implements FrontierScorer.
+func (FMeasureOptimal) Score(fp, fn float64) float64 {
+	recall := 1 - fn
+	// Equal priors: P(attack) = P(benign) = 0.5, so precision =
+	// recall / (recall + fp).
+	if recall+fp == 0 {
+		return 0
+	}
+	precision := recall / (recall + fp)
+	return stats.HarmonicMean(precision, recall)
 }
 
-// optimizeOverCandidates scans candidate thresholds — every training
-// sample and every sample shifted by each attack magnitude — and
-// returns the one maximizing score(fp, fn). Ties prefer the smallest
-// threshold (more sensitive detector).
-func optimizeOverCandidates(train *stats.Empirical, attack []float64, score func(fp, fn float64) float64) (float64, error) {
+func (FMeasureOptimal) validateScorer() error { return nil }
+
+// Threshold implements Heuristic.
+func (FMeasureOptimal) Threshold(train *stats.Empirical, attack []float64) (float64, error) {
+	return maximizeOverFrontier(train, attack, FMeasureOptimal{}.Score)
+}
+
+// maximizeOverFrontier builds a (pooled) threshold frontier over the
+// training distribution and returns the candidate maximizing
+// score(fp, fn). The frontier enumerates exactly the candidate set
+// the pre-frontier brute-force scan used — every training sample plus
+// every coarse attack-shifted quantile — so thresholds are
+// bit-identical to it; the merge-sweep just computes all operating
+// points in one pass instead of 1+|attack| binary searches per
+// candidate over a freshly built, sorted candidate map.
+func maximizeOverFrontier(train *stats.Empirical, attack []float64, score func(fp, fn float64) float64) (float64, error) {
 	if train == nil || train.N() == 0 {
 		return 0, stats.ErrNoSamples
 	}
 	if len(attack) == 0 {
 		return 0, fmt.Errorf("core: objective-optimizing heuristic requires attack magnitudes")
 	}
-	// Iterate by index: Samples() would allocate a defensive copy on
-	// every Configure call in the hot path.
-	candSet := make(map[float64]struct{}, train.N()*2)
-	for i := 0; i < train.N(); i++ {
-		candSet[train.At(i)] = struct{}{}
+	fr, err := stats.AcquireFrontier(train, attack)
+	if err != nil {
+		return 0, err
 	}
-	// Attack-shifted quantile points matter when attacks are larger
-	// than the benign range; add a coarse set to keep this O(n).
-	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
-		base := train.MustQuantile(q)
-		for _, b := range attack {
-			candSet[base+b] = struct{}{}
-		}
-	}
-	cands := make([]float64, 0, len(candSet))
-	for c := range candSet {
-		cands = append(cands, c)
-	}
-	sort.Float64s(cands)
-
-	bestT, bestScore := cands[0], -1.0
-	for _, t := range cands {
-		fp := train.TailProb(t)
-		var fn float64
-		for _, b := range attack {
-			fn += train.CDF(t - b) // P(g + b <= t) = P(g <= t - b)
-		}
-		fn /= float64(len(attack))
-		if s := score(fp, fn); s > bestScore+1e-15 {
-			bestT, bestScore = t, s
-		}
-	}
-	return bestT, nil
+	defer fr.Release()
+	return fr.Maximize(score), nil
 }

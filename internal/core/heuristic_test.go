@@ -1,12 +1,182 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
+
+// optimizeOverCandidates is the pre-frontier brute-force reference,
+// kept verbatim: it scans candidate thresholds — every training
+// sample and every coarse attack-shifted quantile — through a dedup
+// map, a sort, and 1+|attack| binary searches per candidate. The
+// frontier engine must reproduce it bit for bit (same candidate set,
+// same fp/fn arithmetic, same tie-breaking); the property tests below
+// pin that.
+func optimizeOverCandidates(train *stats.Empirical, attack []float64, score func(fp, fn float64) float64) (float64, error) {
+	if train == nil || train.N() == 0 {
+		return 0, stats.ErrNoSamples
+	}
+	if len(attack) == 0 {
+		return 0, fmt.Errorf("core: objective-optimizing heuristic requires attack magnitudes")
+	}
+	candSet := make(map[float64]struct{}, train.N()*2)
+	for i := 0; i < train.N(); i++ {
+		candSet[train.At(i)] = struct{}{}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		base := train.MustQuantile(q)
+		for _, b := range attack {
+			candSet[base+b] = struct{}{}
+		}
+	}
+	cands := make([]float64, 0, len(candSet))
+	for c := range candSet {
+		cands = append(cands, c)
+	}
+	sort.Float64s(cands)
+
+	bestT, bestScore := cands[0], -1.0
+	for _, t := range cands {
+		fp := train.TailProb(t)
+		var fn float64
+		for _, b := range attack {
+			fn += train.CDF(t - b) // P(g + b <= t) = P(g <= t - b)
+		}
+		fn /= float64(len(attack))
+		if s := score(fp, fn); s > bestScore+1e-15 {
+			bestT, bestScore = t, s
+		}
+	}
+	return bestT, nil
+}
+
+// randomTrainAttack generates one randomized scenario: a training
+// distribution mixing continuous and heavily duplicated integer
+// samples (real feature columns are counts, so candidate dedup must
+// be exercised), and an attack set spanning magnitudes from inside
+// the benign range to far beyond it.
+func randomTrainAttack(r *xrand.Source) (*stats.Empirical, []float64) {
+	n := 20 + int(r.Uint64()%400)
+	v := make([]float64, n)
+	for i := range v {
+		x := r.LogNormal(2+2*r.Float64(), 0.3+1.5*r.Float64())
+		if r.Uint64()%2 == 0 {
+			x = math.Floor(x) // force duplicate candidate values
+		}
+		v[i] = x
+	}
+	k := 1 + int(r.Uint64()%30)
+	attack := make([]float64, k)
+	for i := range attack {
+		attack[i] = math.Exp(r.Float64() * 12) // 1 .. ~160k
+		if r.Uint64()%4 == 0 {
+			attack[i] = math.Floor(attack[i])
+		}
+	}
+	return stats.MustEmpirical(v), attack
+}
+
+// TestFrontierThresholdsMatchBruteForce pins the frontier-based
+// utility and F-measure thresholds bit-identical to the brute-force
+// reference across random distributions × attack sets × weights.
+func TestFrontierThresholdsMatchBruteForce(t *testing.T) {
+	r := xrand.New(0xf407)
+	for trial := 0; trial < 300; trial++ {
+		tr, attack := randomTrainAttack(r)
+		w := r.Float64()
+		u := UtilityOptimal{W: w}
+		got, err := u.Threshold(tr, attack)
+		if err != nil {
+			t.Fatalf("trial %d: utility: %v", trial, err)
+		}
+		want, err := optimizeOverCandidates(tr, attack, u.Score)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: utility(w=%g) threshold %v != brute force %v (n=%d, %d magnitudes)",
+				trial, w, got, want, tr.N(), len(attack))
+		}
+		fm := FMeasureOptimal{}
+		got, err = fm.Threshold(tr, attack)
+		if err != nil {
+			t.Fatalf("trial %d: f-measure: %v", trial, err)
+		}
+		want, err = optimizeOverCandidates(tr, attack, fm.Score)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: f-measure threshold %v != brute force %v", trial, got, want)
+		}
+	}
+}
+
+// TestConfigureFrontierFastPathIdentical pins ConfigureWith's cached
+// per-user-frontier fast path to plain Configure for every grouping,
+// including the invalid-parameter fallback.
+func TestConfigureFrontierFastPathIdentical(t *testing.T) {
+	r := xrand.New(99)
+	n := 24
+	dists := make([]*stats.Empirical, n)
+	for u := range dists {
+		v := make([]float64, 120)
+		for i := range v {
+			v[i] = math.Floor(r.LogNormal(2+float64(u)*0.1, 1))
+		}
+		dists[u] = stats.MustEmpirical(v)
+	}
+	attack := []float64{3, 40, 900}
+	fronts := make([]*stats.Frontier, n)
+	for u := range fronts {
+		fr, err := stats.NewFrontier(dists[u], attack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fronts[u] = fr
+	}
+	for _, h := range []Heuristic{UtilityOptimal{W: 0.4}, FMeasureOptimal{}} {
+		for _, g := range []Grouping{FullDiversity{}, Homogeneous{}, PartialDiversity{NumGroups: 4}} {
+			pol := Policy{Heuristic: h, Grouping: g}
+			plain, err := Configure(dists, pol, attack)
+			if err != nil {
+				t.Fatalf("%s: %v", pol.Name(), err)
+			}
+			fast, err := ConfigureWith(ConfigureInput{
+				Train: dists, Policy: pol, Attack: attack, UserFrontiers: fronts,
+			})
+			if err != nil {
+				t.Fatalf("%s fast path: %v", pol.Name(), err)
+			}
+			for u := range plain.Thresholds {
+				if plain.Thresholds[u] != fast.Thresholds[u] {
+					t.Fatalf("%s: user %d threshold %v != %v with cached frontiers",
+						pol.Name(), u, plain.Thresholds[u], fast.Thresholds[u])
+				}
+			}
+		}
+	}
+	// Invalid scorer parameters must still surface the slow path's
+	// error, not silently take the fast path.
+	bad := Policy{Heuristic: UtilityOptimal{W: 2}, Grouping: FullDiversity{}}
+	if _, err := ConfigureWith(ConfigureInput{
+		Train: dists, Policy: bad, Attack: attack, UserFrontiers: fronts,
+	}); err == nil {
+		t.Fatal("invalid utility weight accepted via cached frontiers")
+	}
+	// Frontier slice misaligned with the population is rejected.
+	if _, err := ConfigureWith(ConfigureInput{
+		Train: dists, Policy: Policy{Heuristic: UtilityOptimal{W: 0.4}, Grouping: FullDiversity{}},
+		Attack: attack, UserFrontiers: fronts[:3],
+	}); err == nil {
+		t.Fatal("misaligned UserFrontiers accepted")
+	}
+}
 
 func trainDist(seed uint64, n int) *stats.Empirical {
 	r := xrand.New(seed)

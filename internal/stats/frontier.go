@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+)
+
+// frontierQuantiles is the coarse quantile ladder of the frontier's
+// candidate-set contract: attack-shifted candidate thresholds are
+// generated at exactly these training quantiles. The ladder is part
+// of the engine's behavioral contract — the objective-optimizing
+// heuristics' brute-force reference enumerates the same points — so
+// changing it changes every utility/F-measure threshold in the repro.
+var frontierQuantiles = [...]float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+
+// Frontier is the threshold-frontier engine: given one training
+// distribution and a set of additive attack magnitudes, it enumerates
+// every candidate threshold in ascending order together with its
+// exact operating point —
+//
+//	fp(T) = P(g > T)                     (training false-positive rate)
+//	fn(T) = avg_b P(g + b <= T)          (missed-detection rate)
+//
+// — in one merge-sweep with monotone two-pointer cursors. The
+// candidate set is the union of
+//
+//   - every training sample, and
+//   - every coarse training quantile (frontierQuantiles) shifted by
+//     every attack magnitude (these matter when attacks are larger
+//     than the benign range),
+//
+// deduplicated by float equality: exactly the set the pre-frontier
+// brute-force scan built in a map and probed with per-candidate
+// binary searches. Candidates are never materialized — the sweep
+// streams them from the run-length-compressed training column and
+// the (tiny) sorted shifted-quantile buffer — so a frontier owns only
+// its compressed column and the shifted-quantile buffer, and a
+// Reset/Visit cycle performs zero allocations once those buffers have
+// grown.
+//
+// A Frontier retains a (read-only) reference to the attack slice,
+// which must stay unmodified for as long as the frontier is used; the
+// training distribution is compressed into owned buffers during Reset
+// and not retained. The zero value is empty; Reset before use. After
+// Reset, Visit and Maximize are read-only (sweep cursors live on the
+// caller's stack), so one built frontier may be swept from many
+// goroutines concurrently — the analysis workspace's memoized
+// per-user frontiers are shared by parallel Assignment builds. Reset
+// itself must not race with sweeps.
+type Frontier struct {
+	attack  []float64 // attack magnitudes (shared, read-only)
+	shifted []float64 // sorted attack-shifted coarse quantiles (owned)
+	// uniq and pcdf are the run-length-compressed training column:
+	// uniq holds the distinct sample values ascending and pcdf[i] is
+	// the empirical CDF after consuming the first i of them —
+	// pcdf[0] = 0 and pcdf[i] = float64(|{g <= uniq[i-1]}|)/n, the
+	// exact division CDFSorted performs, precomputed once. Feature
+	// columns are window counts with heavy value repetition, so
+	// |uniq| is typically far below the raw sample count and every
+	// sweep runs over the compressed column with zero divisions.
+	uniq, pcdf []float64
+}
+
+// NewFrontier builds a frontier over a training distribution and a
+// set of attack magnitudes. attack may be empty, in which case the
+// candidate set is the training samples alone and fn is identically
+// zero.
+func NewFrontier(train *Empirical, attack []float64) (*Frontier, error) {
+	f := &Frontier{}
+	if err := f.Reset(train, attack); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Reset re-targets the frontier at a new training distribution and
+// attack set, reusing the scratch buffers of previous builds
+// (amortized-zero allocation across many Resets).
+func (f *Frontier) Reset(train *Empirical, attack []float64) error {
+	if train == nil || len(train.sorted) == 0 {
+		return ErrNoSamples
+	}
+	f.attack = attack
+	f.shifted = f.shifted[:0]
+	for _, q := range frontierQuantiles {
+		base := train.MustQuantile(q)
+		for _, b := range attack {
+			f.shifted = append(f.shifted, base+b)
+		}
+	}
+	sort.Float64s(f.shifted)
+	// Run-length-compress the sorted column into (uniq, pcdf).
+	sorted := train.sorted
+	n := len(sorted)
+	nF := float64(n)
+	f.uniq = f.uniq[:0]
+	f.pcdf = append(f.pcdf[:0], 0)
+	for idx := 0; idx < n; {
+		v := sorted[idx]
+		for idx < n && sorted[idx] == v {
+			idx++
+		}
+		f.uniq = append(f.uniq, v)
+		f.pcdf = append(f.pcdf, float64(idx)/nF)
+	}
+	return nil
+}
+
+// Visit sweeps the frontier, calling visit for every candidate
+// threshold in strictly ascending order with its exact (fp, fn)
+// operating point. The arithmetic reproduces the brute-force scan
+// bit for bit: fp = 1 - |{g <= T}|/n, fn = (Σ_b |{g <= T-b}|/n)/|b|
+// with the per-magnitude terms accumulated in attack order.
+func (f *Frontier) Visit(visit func(t, fp, fn float64)) {
+	uniq, shifted, attack, pcdf := f.uniq, f.shifted, f.attack, f.pcdf
+	nU := len(uniq)
+	nMag := float64(len(attack))
+	// The per-magnitude cursors live on this call's stack (heap only
+	// for outlandish magnitude counts), so concurrent sweeps of one
+	// shared frontier never touch common mutable state — memoized
+	// frontiers are swept by parallel Assignment builds.
+	var cursorBuf [64]int
+	cursors := cursorBuf[:0]
+	if len(attack) <= len(cursorBuf) {
+		cursors = cursorBuf[:len(attack)]
+	} else {
+		cursors = make([]int, len(attack))
+	}
+	i, j := 0, 0
+	for i < nU || j < len(shifted) {
+		var t float64
+		if j >= len(shifted) || (i < nU && uniq[i] <= shifted[j]) {
+			t = uniq[i]
+		} else {
+			t = shifted[j]
+		}
+		// Consume t from both streams; afterwards pcdf[i] is exactly
+		// the |{g <= t}|/n value CDFSorted's binary search would
+		// return.
+		if i < nU && uniq[i] == t {
+			i++
+		}
+		for j < len(shifted) && shifted[j] == t {
+			j++
+		}
+		fp := 1 - pcdf[i]
+		var fn float64
+		for k, b := range attack {
+			x := t - b
+			c := cursors[k]
+			for c < nU && uniq[c] <= x {
+				c++
+			}
+			cursors[k] = c
+			fn += pcdf[c]
+		}
+		if len(attack) > 0 {
+			fn /= nMag
+		}
+		visit(t, fp, fn)
+	}
+}
+
+// Maximize returns the candidate threshold maximizing score(fp, fn).
+// Ties (scores within 1e-15) prefer the smallest threshold — the more
+// sensitive detector — matching the brute-force scan's rule exactly.
+func (f *Frontier) Maximize(score func(fp, fn float64) float64) float64 {
+	bestT, bestScore := 0.0, -1.0
+	first := true
+	f.Visit(func(t, fp, fn float64) {
+		if first {
+			bestT, first = t, false
+		}
+		if s := score(fp, fn); s > bestScore+1e-15 {
+			bestT, bestScore = t, s
+		}
+	})
+	return bestT
+}
+
+// frontierPool recycles Frontier scratch buffers across the many
+// short-lived builds core.Configure performs for merged groups.
+var frontierPool = sync.Pool{New: func() any { return new(Frontier) }}
+
+// AcquireFrontier returns a pooled frontier reset to the given
+// inputs. Callers must Release it when done and must not retain it
+// afterwards.
+func AcquireFrontier(train *Empirical, attack []float64) (*Frontier, error) {
+	f := frontierPool.Get().(*Frontier)
+	if err := f.Reset(train, attack); err != nil {
+		frontierPool.Put(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// Release drops the frontier's reference to the shared attack slice
+// and returns it (scratch buffers intact) to the pool.
+func (f *Frontier) Release() {
+	f.attack = nil
+	frontierPool.Put(f)
+}
+
+// CountAboveSorted returns |{v in sorted : v > x}| — the number of
+// alarming windows of a threshold detector with threshold x — by
+// binary search over an already-sorted slice.
+func CountAboveSorted(sorted []float64, x float64) int {
+	idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] > x })
+	return len(sorted) - idx
+}
+
+// CountShiftedAbove returns |{v in sorted : v+shift > x}|: the number
+// of windows that alarm once a constant additive attack of size shift
+// is overlaid. Float addition is monotone non-decreasing in v, so the
+// alarm predicate is monotone over the sorted slice and the binary
+// search returns exactly the count a window-by-window walk computing
+// v+shift > x would — including at rounding boundaries.
+func CountShiftedAbove(sorted []float64, shift, x float64) int {
+	idx := sort.Search(len(sorted), func(i int) bool { return sorted[i]+shift > x })
+	return len(sorted) - idx
+}

@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // ROCPoint is one operating point of a threshold detector.
@@ -23,33 +22,55 @@ type ROCPoint struct {
 // percentile, the utility optimum); the ROC view generalizes those to
 // the whole trade-off frontier and underlies the F-measure and
 // utility optimizations.
+// The implementation is the same merge-sweep the threshold-frontier
+// engine uses (see Frontier): the two sorted sample sets are merged
+// with two-pointer cursors — no threshold set map, no per-threshold
+// binary searches — and both rates fall out of the cursor positions,
+// with arithmetic identical to TailProb's.
 func ROC(benign, attacked *Empirical) ([]ROCPoint, error) {
 	if benign == nil || benign.N() == 0 || attacked == nil || attacked.N() == 0 {
 		return nil, ErrNoSamples
 	}
-	thrSet := make(map[float64]struct{}, benign.N()+attacked.N()+1)
-	for _, v := range benign.sorted {
-		thrSet[v] = struct{}{}
+	b, a := benign.sorted, attacked.sorted
+	nb, na := float64(len(b)), float64(len(a))
+	// A threshold below every sample gives the (1,1) corner; it sorts
+	// before both sample sets, so the merged sweep starts with it.
+	thr := make([]float64, 1, len(b)+len(a)+1)
+	thr[0] = math.Min(b[0], a[0]) - 1
+	var i, j int
+	for i < len(b) || j < len(a) {
+		var v float64
+		if j >= len(a) || (i < len(b) && b[i] <= a[j]) {
+			v = b[i]
+		} else {
+			v = a[j]
+		}
+		for i < len(b) && b[i] == v {
+			i++
+		}
+		for j < len(a) && a[j] == v {
+			j++
+		}
+		thr = append(thr, v)
 	}
-	for _, v := range attacked.sorted {
-		thrSet[v] = struct{}{}
-	}
-	// A threshold below every sample gives the (1,1) corner.
-	thrSet[math.Min(benign.Min(), attacked.Min())-1] = struct{}{}
-	thresholds := make([]float64, 0, len(thrSet))
-	for v := range thrSet {
-		thresholds = append(thresholds, v)
-	}
-	sort.Float64s(thresholds)
-
-	curve := make([]ROCPoint, 0, len(thresholds))
-	for i := len(thresholds) - 1; i >= 0; i-- { // descending threshold = ascending FPR
-		t := thresholds[i]
-		curve = append(curve, ROCPoint{
+	// One ascending pass fills the curve back to front (descending
+	// threshold = ascending FPR). After the duplicate-consuming loops
+	// above, cb/ca are exactly the |{x <= t}| counts TailProb's binary
+	// search would return.
+	curve := make([]ROCPoint, len(thr))
+	var cb, ca int
+	for k, t := range thr {
+		for cb < len(b) && b[cb] <= t {
+			cb++
+		}
+		for ca < len(a) && a[ca] <= t {
+			ca++
+		}
+		curve[len(thr)-1-k] = ROCPoint{
 			Threshold: t,
-			FPR:       benign.TailProb(t),
-			TPR:       attacked.TailProb(t),
-		})
+			FPR:       1 - float64(cb)/nb,
+			TPR:       1 - float64(ca)/na,
+		}
 	}
 	return curve, nil
 }
@@ -71,22 +92,27 @@ func AUC(curve []ROCPoint) (float64, error) {
 	return area, nil
 }
 
-// OperatingPointAt returns the curve point with the largest FPR not
-// exceeding maxFPR — how an IT operator reads "best detection at a
-// 1% false-positive budget" off the frontier.
+// OperatingPointAt returns the best operating point within a
+// false-positive budget — how an IT operator reads "best detection at
+// a 1% false-positive budget" off the frontier. The rule: among the
+// points with FPR <= maxFPR, take the maximum FPR; among points tied
+// at that FPR, take the maximum TPR. An error is returned when no
+// point fits the budget.
 func OperatingPointAt(curve []ROCPoint, maxFPR float64) (ROCPoint, error) {
 	if len(curve) == 0 {
 		return ROCPoint{}, fmt.Errorf("stats: empty ROC curve")
 	}
-	best := ROCPoint{FPR: -1}
+	var best ROCPoint
+	found := false
 	for _, p := range curve {
-		if p.FPR <= maxFPR && p.FPR >= best.FPR {
-			if p.FPR > best.FPR || p.TPR > best.TPR {
-				best = p
-			}
+		if p.FPR > maxFPR {
+			continue
+		}
+		if !found || p.FPR > best.FPR || (p.FPR == best.FPR && p.TPR > best.TPR) {
+			best, found = p, true
 		}
 	}
-	if best.FPR < 0 {
+	if !found {
 		return ROCPoint{}, fmt.Errorf("stats: no ROC point with FPR <= %g", maxFPR)
 	}
 	return best, nil

@@ -2,6 +2,8 @@ package stats
 
 import (
 	"math"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/xrand"
@@ -96,6 +98,65 @@ func TestROCErrors(t *testing.T) {
 	}
 }
 
+// refROC is the pre-merge-sweep implementation kept as a behavioral
+// reference: a threshold-set map over both sample sets plus the
+// below-minimum sentinel, sorted, with two binary searches per
+// threshold. The merge-sweep must reproduce it exactly.
+func refROC(benign, attacked *Empirical) []ROCPoint {
+	thrSet := make(map[float64]struct{}, benign.N()+attacked.N()+1)
+	for i := 0; i < benign.N(); i++ {
+		thrSet[benign.At(i)] = struct{}{}
+	}
+	for i := 0; i < attacked.N(); i++ {
+		thrSet[attacked.At(i)] = struct{}{}
+	}
+	thrSet[math.Min(benign.Min(), attacked.Min())-1] = struct{}{}
+	thresholds := make([]float64, 0, len(thrSet))
+	for v := range thrSet {
+		thresholds = append(thresholds, v)
+	}
+	sort.Float64s(thresholds)
+	curve := make([]ROCPoint, 0, len(thresholds))
+	for i := len(thresholds) - 1; i >= 0; i-- {
+		t := thresholds[i]
+		curve = append(curve, ROCPoint{
+			Threshold: t,
+			FPR:       benign.TailProb(t),
+			TPR:       attacked.TailProb(t),
+		})
+	}
+	return curve
+}
+
+// TestROCMatchesReference pins the merge-sweep ROC bit-identical to
+// the map-and-binary-search reference, including duplicate-heavy
+// integer samples and values shared between the two classes.
+func TestROCMatchesReference(t *testing.T) {
+	r := xrand.New(23)
+	for trial := 0; trial < 50; trial++ {
+		nb := 5 + int(r.Uint64()%300)
+		na := 5 + int(r.Uint64()%300)
+		bv := make([]float64, nb)
+		av := make([]float64, na)
+		for i := range bv {
+			bv[i] = math.Floor(r.LogNormal(2, 1))
+		}
+		for i := range av {
+			av[i] = math.Floor(r.LogNormal(2.5, 1)) // overlaps benign support
+		}
+		be, ae := MustEmpirical(bv), MustEmpirical(av)
+		got, err := ROC(be, ae)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refROC(be, ae)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merge-sweep ROC diverges from reference (%d vs %d points)",
+				trial, len(got), len(want))
+		}
+	}
+}
+
 func TestOperatingPointAt(t *testing.T) {
 	b, a := twoClasses(2, 1000, 13)
 	curve, _ := ROC(b, a)
@@ -111,6 +172,44 @@ func TestOperatingPointAt(t *testing.T) {
 	}
 	if _, err := OperatingPointAt(nil, 0.01); err == nil {
 		t.Fatal("empty curve accepted")
+	}
+}
+
+// TestOperatingPointAtBoundaries exercises the tie-breaking rule on
+// hand-built curves: max TPR among points tied at the maximum
+// admissible FPR, regardless of point order, and an error when the
+// budget sits below the curve's minimum FPR.
+func TestOperatingPointAtBoundaries(t *testing.T) {
+	dup := []ROCPoint{
+		{Threshold: 9, FPR: 0.01, TPR: 0.40},
+		{Threshold: 8, FPR: 0.01, TPR: 0.70}, // winner: same FPR, higher TPR
+		{Threshold: 7, FPR: 0.01, TPR: 0.55},
+		{Threshold: 6, FPR: 0.50, TPR: 0.99}, // over budget
+	}
+	p, err := OperatingPointAt(dup, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threshold != 8 || p.TPR != 0.70 {
+		t.Fatalf("duplicate-FPR tie broke to %+v, want the max-TPR point", p)
+	}
+	// Same curve reversed: the rule must not depend on scan order.
+	rev := []ROCPoint{dup[3], dup[2], dup[1], dup[0]}
+	if p, _ = OperatingPointAt(rev, 0.01); p.Threshold != 8 {
+		t.Fatalf("reversed curve broke tie to %+v", p)
+	}
+	// Budget below the curve's minimum FPR: no admissible point.
+	if _, err := OperatingPointAt(dup, 0.001); err == nil {
+		t.Fatal("budget below minimum FPR accepted")
+	}
+	// Budget exactly at a point's FPR is admissible (<=, not <).
+	if p, err = OperatingPointAt(dup, 0.5); err != nil || p.FPR != 0.5 {
+		t.Fatalf("exact-budget point: %+v, %v", p, err)
+	}
+	// A zero-FPR-only curve under a zero budget still resolves.
+	zero := []ROCPoint{{Threshold: 1, FPR: 0, TPR: 0.2}, {Threshold: 2, FPR: 0, TPR: 0.1}}
+	if p, err = OperatingPointAt(zero, 0); err != nil || p.TPR != 0.2 {
+		t.Fatalf("zero-budget point: %+v, %v", p, err)
 	}
 }
 

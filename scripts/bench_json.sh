@@ -6,7 +6,61 @@
 # speedup vs. the pre-workspace implementation stays on record.
 #
 # Usage: scripts/bench_json.sh current.txt [seed-baseline.txt]
+#        scripts/bench_json.sh -check current.txt BENCH_repro.json
+#
+# Check mode compares a fresh measured run against the committed
+# BENCH_repro.json and exits non-zero if any benchmark present in
+# both regressed by more than 20% in ns/op — the guard that keeps
+# perf PRs from silently undoing each other. Benchmarks only in one
+# side (added or retired) are ignored.
 set -eu
+
+if [ "${1:-}" = "-check" ]; then
+    cur="${2:?usage: bench_json.sh -check <current-bench-output> <BENCH_repro.json>}"
+    baseline="${3:?usage: bench_json.sh -check <current-bench-output> <BENCH_repro.json>}"
+    # Extract "name ns_per_op" pairs from the committed JSON. Only the
+    # "benchmarks" array is read — the emitter writes one record per
+    # line, so line-oriented awk is enough — and the "seed_baseline"
+    # array is explicitly skipped.
+    awk '
+    /"benchmarks": \[/  { inb = 1; next }
+    inb && /^  \]/      { inb = 0 }
+    inb && /"name"/ {
+        name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+        print name, ns
+    }
+    ' "$baseline" > /tmp/bench_baseline_pairs.$$
+    status=0
+    awk -v failfile=/tmp/bench_check_fail.$$ '
+    NR == FNR { base[$1] = $2; next }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = ""
+        for (i = 3; i <= NF; i++) if ($(i) == "ns/op") ns = $(i - 1)
+        if (ns == "" || !(name in base)) next
+        compared++
+        ratio = ns / base[name]
+        if (ratio > 1.20) {
+            printf "REGRESSION %s: %.4g ns/op vs baseline %.4g (%.0f%%)\n", name, ns, base[name], (ratio - 1) * 100
+            fail = 1
+        } else {
+            printf "ok %s: %.4g ns/op vs baseline %.4g\n", name, ns, base[name]
+        }
+    }
+    END {
+        # Zero comparisons means the baseline parse found nothing (a
+        # reformatted BENCH_repro.json, or the wrong file) — that is a
+        # broken guard, not a pass.
+        if (compared == 0) { print "bench-check: no benchmarks matched the baseline — guard is not running"; fail = 1 }
+        if (fail) print "fail" > failfile
+    }
+    ' /tmp/bench_baseline_pairs.$$ "$cur"
+    [ -f /tmp/bench_check_fail.$$ ] && { rm -f /tmp/bench_check_fail.$$; status=1; }
+    rm -f /tmp/bench_baseline_pairs.$$
+    exit $status
+fi
 
 in="${1:?usage: bench_json.sh <current-bench-output> [seed-baseline-output]}"
 base="${2:-}"
