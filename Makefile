@@ -30,18 +30,21 @@ verify: vet build race
 soak:
 	$(GO) test -race -run TestFleet ./internal/fleet -timeout 10m -v
 
-# bench runs the per-experiment benchmarks and records them as
-# BENCH_repro.json, the perf trajectory checked in with each PR.
+# bench runs the per-experiment benchmarks — root package plus the
+# generation-path microbenches in internal/trace and internal/xrand —
+# and records them as BENCH_repro.json, the perf trajectory checked
+# in with each PR.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem . | tee /tmp/bench_repro.txt
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/trace ./internal/xrand | tee /tmp/bench_repro.txt
 	./scripts/bench_json.sh /tmp/bench_repro.txt scripts/seed_baseline.bench > BENCH_repro.json
 	@echo wrote BENCH_repro.json
 
 # bench-check re-measures the suite and fails if any benchmark
-# regressed >20% in ns/op vs the committed BENCH_repro.json. Run it
-# before a perf PR; `make bench` afterwards to refresh the baseline.
+# regressed >20% in ns/op or >25% in allocs/op vs the committed
+# BENCH_repro.json. Run it before a perf PR; `make bench` afterwards
+# to refresh the baseline.
 bench-check:
-	$(GO) test -run '^$$' -bench . -benchmem . | tee /tmp/bench_check.txt
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/trace ./internal/xrand | tee /tmp/bench_check.txt
 	./scripts/bench_json.sh -check /tmp/bench_check.txt BENCH_repro.json
 
 experiments:

@@ -318,6 +318,24 @@ func BenchmarkEnterpriseGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerateUsers5000 measures the fused batch materialization
+// at ROADMAP scale: 5000 users × 1 week generated by the week-batched
+// engine straight into a warmed columnar workspace (matrices plus
+// every sorted feature-week column). The user-bins/s metric is the
+// generation-throughput figure EXPERIMENTS.md tracks.
+func BenchmarkGenerateUsers5000(b *testing.B) {
+	const users, weeks = 5000, 1
+	for i := 0; i < b.N; i++ {
+		ent, err := NewEnterprise(Options{Users: users, Weeks: weeks, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ent.Materialize()
+	}
+	bins := float64(users) * float64(weeks) * 672
+	b.ReportMetric(bins*float64(b.N)/b.Elapsed().Seconds(), "user-bins/s")
+}
+
 // ---------------------------------------------------------------------------
 // Scale (ROADMAP north star)
 

@@ -486,55 +486,103 @@ type Fig4aResult struct {
 // week on every host; a user "raises an alarm" if any attacked
 // window alarms. Detection is averaged over several attack days.
 //
-// The sweep is incremental: the workspace's per-day sorted columns
-// are built once, and because the overlay is a constant b per day,
-// each (policy, size, day, user) cell is one binary-search count of
-// windows with g+b > T (stats.CountShiftedAbove — exact, since float
-// addition is monotone) instead of a walk over every window of the
-// day for every magnitude.
+// The sweep is fully incremental: a user alarms at size b exactly
+// when its day's maximum window plus b exceeds its threshold (float
+// addition is monotone, so the existence check reduces to the
+// maximum), and the set of alarming sizes is an up-set whose boundary
+// — the user's critical size — is found exactly by probing adjacent
+// floats around threshold−max. The per-(policy, day) critical sizes
+// are sorted and memoized in the workspace, after which every
+// (policy, size, day) cell is one binary search over users instead of
+// a per-user search over windows.
 func Fig4a(e *Enterprise, cfg ExperimentConfig) (*Fig4aResult, error) {
 	ws := e.workspace()
 	users := ws.Users()
 	sweep := ws.Sweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
 	res := &Fig4aResult{Sizes: append([]float64(nil), sweep...)}
 	days := ws.DaySorted(cfg.Feature, cfg.TestWeek)
+	attackDays := []int{1, 2, 3} // Tue, Wed, Thu of the test week
 
 	// The three assignments are cached in the workspace. Percentile
 	// heuristics ignore attack magnitudes, so the nil-sweep cache key
 	// shares the entries Fig4b and Fig5 configure.
-	var assigns []*core.Assignment
+	crits := make([][][]float64, 0, 3) // [policy][day] sorted critical sizes
 	for _, pol := range Policies(core.Percentile{Q: 0.99}) {
 		asn, err := ws.Assignment(cfg.Feature, cfg.TrainWeek, pol, nil, "")
 		if err != nil {
 			return nil, err
 		}
+		key := fmt.Sprintf("fig4a-crit/%d/%d/%d/%s", int(cfg.Feature), cfg.TrainWeek, cfg.TestWeek, pol.Name())
+		v, _ := ws.Memo(key, func() (any, error) {
+			perDay := make([][]float64, len(attackDays))
+			for d, day := range attackDays {
+				crit := make([]float64, users)
+				for u := 0; u < users; u++ {
+					col := days[u][day]
+					crit[u] = minAlarmSize(col[len(col)-1], asn.Thresholds[u])
+				}
+				sort.Float64s(crit)
+				perDay[d] = crit
+			}
+			return perDay, nil
+		})
 		res.PolicyNames = append(res.PolicyNames, pol.Name())
-		assigns = append(assigns, asn)
+		crits = append(crits, v.([][]float64))
 	}
 
-	attackDays := []int{1, 2, 3} // Tue, Wed, Thu of the test week
-	res.Fraction = make([][]float64, len(assigns))
-	for p := range assigns {
+	res.Fraction = make([][]float64, len(crits))
+	for p := range crits {
 		res.Fraction[p] = make([]float64, len(sweep))
-	}
-	// Fan the (policy, attack size) grid out over the worker pool;
-	// every cell touches only its own slot.
-	par.ForEach(len(assigns)*len(sweep), 0, func(i int) {
-		p, k := i/len(sweep), i%len(sweep)
-		asn, size := assigns[p], sweep[k]
-		var total float64
-		for _, day := range attackDays {
-			alarming := 0
-			for u := 0; u < users; u++ {
-				if stats.CountShiftedAbove(days[u][day], size, asn.Thresholds[u]) > 0 {
-					alarming++
-				}
+		for k, size := range sweep {
+			var total float64
+			for d := range attackDays {
+				crit := crits[p][d]
+				alarming := sort.Search(len(crit), func(i int) bool { return crit[i] > size })
+				total += float64(alarming) / float64(users)
 			}
-			total += float64(alarming) / float64(users)
+			res.Fraction[p][k] = total / float64(len(attackDays))
 		}
-		res.Fraction[p][k] = total / float64(len(attackDays))
-	})
+	}
 	return res, nil
+}
+
+// minAlarmSize returns the smallest float64 attack size whose
+// float-rounded sum with the day's maximum window value max exceeds
+// the threshold — the exact boundary of the (monotone) alarming-size
+// set, so comparing a size against it agrees with a direct
+// max+size > thr check for every size. It binary-searches the
+// totally-ordered float space (IEEE addition is monotone in the
+// addend), which stays exact and bounded even when the boundary sits
+// among denormals or right at thr == max.
+func minAlarmSize(max, thr float64) float64 {
+	lo, hi := floatOrd(math.Inf(-1)), floatOrd(math.Inf(1))
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if max+floatFromOrd(mid) > thr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return floatFromOrd(lo)
+}
+
+// floatOrd maps a float64 to an unsigned key whose integer order
+// matches the float order (negatives reversed into the low range).
+func floatOrd(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// floatFromOrd inverts floatOrd.
+func floatFromOrd(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
 }
 
 // String renders the detection curves.

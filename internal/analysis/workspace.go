@@ -107,6 +107,72 @@ func New(matrices []*features.Matrix) *Workspace {
 	}
 }
 
+// NewGenerated builds a workspace whose matrices and columnar blocks
+// are produced in one fused parallel pass: each worker pulls one
+// user's matrix from matrixOf (typically a trace.Generator filling
+// rows week by week) and immediately extracts, sorts and wraps every
+// (feature, week) column while the freshly generated rows are still
+// cache-hot. This replaces the two-pass materialize-then-Warm flow —
+// there is no intermediate per-bin Counts round-trip and no second
+// sweep over cold matrices. matrixOf runs on the shared worker pool:
+// it must be safe for concurrent calls with distinct u and must
+// return matrices of identical geometry covering at least one
+// complete week (panics otherwise, matching New).
+func NewGenerated(users int, matrixOf func(u int) *features.Matrix) *Workspace {
+	if users <= 0 {
+		panic("analysis: empty population")
+	}
+	matrices := make([]*features.Matrix, users)
+	matrices[0] = matrixOf(0)
+	m0 := matrices[0]
+	weeks := m0.Weeks()
+	if weeks < 1 {
+		panic("analysis: matrices cover no complete week")
+	}
+	nBlocks := weeks * features.NumFeatures
+	w := &Workspace{
+		matrices:    matrices,
+		users:       users,
+		weeks:       weeks,
+		binsPerWeek: m0.BinsPerWeek(),
+		binWidth:    m0.BinWidth,
+		blocks:      make([]*block, nBlocks),
+		blockOnce:   make([]sync.Once, nBlocks),
+		memo:        make(map[string]*memoCell),
+	}
+	for idx := range w.blocks {
+		w.blocks[idx] = &block{
+			raw:    make([][]float64, users),
+			sorted: make([][]float64, users),
+			dists:  make([]*stats.Empirical, users),
+		}
+	}
+	par.ForEach(users, 0, func(u int) {
+		m := matrices[u]
+		if m == nil {
+			m = matrixOf(u)
+			matrices[u] = m
+		}
+		if m == nil || m.Bins() != m0.Bins() || m.BinWidth != m0.BinWidth {
+			panic(fmt.Sprintf("analysis: user %d matrix geometry differs from user 0", u))
+		}
+		for week := 0; week < weeks; week++ {
+			for _, f := range features.All() {
+				fillBlockUser(w.blocks[week*features.NumFeatures+int(f)], m, u, f, week)
+			}
+		}
+	})
+	// Mark every block built so ensureBlock never rebuilds them.
+	for idx := range w.blockOnce {
+		w.blockOnce[idx].Do(func() {})
+	}
+	return w
+}
+
+// Matrices returns the per-user matrices the workspace was built
+// over, in user order. Shared, read-only.
+func (w *Workspace) Matrices() []*features.Matrix { return w.matrices }
+
 // Users returns the population size.
 func (w *Workspace) Users() int { return w.users }
 
@@ -140,6 +206,25 @@ func (w *Workspace) blockIndex(f features.Feature, week int) int {
 	return week*features.NumFeatures + int(f)
 }
 
+// fillBlockUser extracts, sorts and wraps one user's column of one
+// (feature, week) into the block — the single source of truth shared
+// by the lazy ensureBlock path and the fused NewGenerated pass.
+func fillBlockUser(b *block, m *features.Matrix, u int, f features.Feature, week int) {
+	lo, hi := m.WeekRange(week)
+	raw := m.ColumnSlice(f, lo, hi)
+	sorted := append([]float64(nil), raw...)
+	sort.Float64s(sorted)
+	d, err := stats.NewEmpiricalFromSorted(sorted)
+	if err != nil {
+		// Matrices are counters: never NaN, never empty for a
+		// complete week. Reaching here is a corrupted matrix.
+		panic(fmt.Sprintf("analysis: user %d %s week %d: %v", u, f, week, err))
+	}
+	b.raw[u] = raw
+	b.sorted[u] = sorted
+	b.dists[u] = d
+}
+
 // ensureBlock builds the columnar view of one (feature, week) on
 // first use, fanning the per-user extract-and-sort over all CPUs.
 func (w *Workspace) ensureBlock(f features.Feature, week int) *block {
@@ -151,20 +236,7 @@ func (w *Workspace) ensureBlock(f features.Feature, week int) *block {
 			dists:  make([]*stats.Empirical, w.users),
 		}
 		par.ForEach(w.users, 0, func(u int) {
-			m := w.matrices[u]
-			lo, hi := m.WeekRange(week)
-			raw := m.ColumnSlice(f, lo, hi)
-			sorted := append([]float64(nil), raw...)
-			sort.Float64s(sorted)
-			d, err := stats.NewEmpiricalFromSorted(sorted)
-			if err != nil {
-				// Matrices are counters: never NaN, never empty for a
-				// complete week. Reaching here is a corrupted matrix.
-				panic(fmt.Sprintf("analysis: user %d %s week %d: %v", u, f, week, err))
-			}
-			b.raw[u] = raw
-			b.sorted[u] = sorted
-			b.dists[u] = d
+			fillBlockUser(b, w.matrices[u], u, f, week)
 		})
 		w.blocks[idx] = b
 	})

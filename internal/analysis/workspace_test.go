@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // testMatrices builds a small deterministic population: user u's
@@ -22,7 +23,7 @@ func testMatrices(users, weeks int) []*features.Matrix {
 		m := features.NewMatrix(binWidth, 0, weeks*bpw)
 		for b := range m.Rows {
 			for f := 0; f < features.NumFeatures; f++ {
-				m.Rows[b][f] = float64((u+1)*(f+2)*((b*7)%13) % 101)
+				m.Rows[b][f] = float64((u + 1) * (f + 2) * ((b * 7) % 13) % 101)
 			}
 		}
 		out[u] = m
@@ -363,5 +364,80 @@ func TestAssignmentsConcurrentFrontierSharing(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestNewGeneratedMatchesNewWarm pins the fused constructor to the
+// two-pass flow: generating matrices inside NewGenerated's parallel
+// pass must yield exactly the blocks New+Warm builds from the same
+// matrices, and the workspace must adopt the produced matrices.
+func TestNewGeneratedMatchesNewWarm(t *testing.T) {
+	ms := testMatrices(12, 2)
+	fused := NewGenerated(len(ms), func(u int) *features.Matrix { return ms[u] })
+	ref := New(ms)
+	ref.Warm()
+	if got := fused.Matrices(); len(got) != len(ms) || got[3] != ms[3] {
+		t.Fatal("fused workspace did not adopt the generated matrices")
+	}
+	for week := 0; week < fused.Weeks(); week++ {
+		for _, f := range features.All() {
+			gotRaw, wantRaw := fused.Raw(f, week), ref.Raw(f, week)
+			gotSorted, wantSorted := fused.Sorted(f, week), ref.Sorted(f, week)
+			for u := range wantRaw {
+				for b := range wantRaw[u] {
+					if gotRaw[u][b] != wantRaw[u][b] || gotSorted[u][b] != wantSorted[u][b] {
+						t.Fatalf("%s week %d user %d: fused columns diverge", f, week, u)
+					}
+				}
+				if fused.Dist(u, f, week).N() != ref.Dist(u, f, week).N() {
+					t.Fatalf("%s week %d user %d: dists diverge", f, week, u)
+				}
+			}
+		}
+	}
+}
+
+// TestNewGeneratedParallelGeneration drives real trace generators
+// from NewGenerated's worker pool into one shared workspace — the
+// -race guard for the fused generate-extract-sort pass — and checks
+// the result is identical to serial per-user generation.
+func TestNewGeneratedParallelGeneration(t *testing.T) {
+	pop := trace.MustPopulation(trace.Config{Users: 16, Weeks: 2, Seed: 21})
+	ws := NewGenerated(len(pop.Users), func(u int) *features.Matrix {
+		return pop.Users[u].Series()
+	})
+	for u, want := range pop.Users {
+		m := want.Series()
+		got := ws.Matrices()[u]
+		for b := range m.Rows {
+			if got.Rows[b] != m.Rows[b] {
+				t.Fatalf("user %d bin %d: parallel generation diverges from serial", u, b)
+			}
+		}
+	}
+}
+
+func TestNewGeneratedPanics(t *testing.T) {
+	ms := testMatrices(3, 1)
+	bad := features.NewMatrix(ms[0].BinWidth, 0, ms[0].Bins()*2)
+	for name, fn := range map[string]func(){
+		"empty": func() { NewGenerated(0, func(int) *features.Matrix { return nil }) },
+		"geometry": func() {
+			NewGenerated(2, func(u int) *features.Matrix {
+				if u == 1 {
+					return bad
+				}
+				return ms[u]
+			})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
 	}
 }

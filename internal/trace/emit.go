@@ -5,7 +5,9 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/features"
 	"repro/internal/netsim"
+	"repro/internal/xrand"
 )
 
 // Well-known infrastructure addresses in the synthetic enterprise.
@@ -18,6 +20,13 @@ var (
 // unique within a user's pool and disjoint from enterprise space.
 func (u *User) destAddr(idx int) netsim.Addr {
 	return netsim.AddrFromUint32(0x5D000000 | uint32(u.ID%64)<<18 | uint32(idx))
+}
+
+// emitSeed returns the seed of the timing/port stream of (user,
+// bin): a separate stream from the count-determining draws, so the
+// packet realization cannot perturb the counts.
+func (u *User) emitSeed(bin int) uint64 {
+	return u.cfg.Seed ^ uint64(u.ID+1)*0x9e3779b97f4a7c15 ^ uint64(bin+1)*0xa0761d6478bd642f
 }
 
 // EmitBin materializes the packet records realizing exactly the
@@ -38,14 +47,20 @@ func (u *User) EmitBin(bin int, emit func(netsim.Record)) int {
 	if c.TCP == 0 && c.UDP == 0 && c.DNS == 0 {
 		return 0
 	}
-	// Timing and port draws come from a separate stream so they
-	// cannot perturb the count-determining draws in sample().
-	r := u.rng(bin)
-	r.Reseed(u.cfg.Seed ^ uint64(u.ID+1)*0x9e3779b97f4a7c15 ^ uint64(bin+1)*0xa0761d6478bd642f)
+	n, _ := u.emitSampled(xrand.New(u.emitSeed(bin)), bin, c, s.destIdx, s.synRetries, nil, emit)
+	return n
+}
 
+// emitSampled realizes one sampled bin into packet records, appending
+// to recs (a reusable scratch buffer), emitting each record in time
+// order, and returning the record count plus the grown buffer. r must
+// be seeded to the (user, bin) emit stream; destIdx and synRetries
+// are the realization drawn by sample/sampleInto. Shared by
+// User.EmitBin and Generator.EmitBin, which must produce identical
+// records.
+func (u *User) emitSampled(r *xrand.Source, bin int, c features.Counts, destIdx, synRetries []int, recs []netsim.Record, emit func(netsim.Record)) (int, []netsim.Record) {
 	binStart := u.BinStartMicros(bin)
 	width := u.cfg.BinWidth.Microseconds()
-	var recs []netsim.Record
 	add := func(rec netsim.Record) { recs = append(recs, rec) }
 
 	port := func(seq int) uint16 { return uint16(10000 + seq%50000) }
@@ -54,7 +69,7 @@ func (u *User) EmitBin(bin int, emit func(netsim.Record)) int {
 	// TCP connections (the first c.HTTP of them are HTTP).
 	for i := 0; i < c.TCP; i++ {
 		t0 := binStart + int64(r.Float64()*float64(width-5_000_000))
-		dst := netsim.Endpoint{Addr: u.destAddr(s.destIdx[i])}
+		dst := netsim.Endpoint{Addr: u.destAddr(destIdx[i])}
 		switch {
 		case i < c.HTTP:
 			dst.Port = netsim.PortHTTP
@@ -74,10 +89,10 @@ func (u *User) EmitBin(bin int, emit func(netsim.Record)) int {
 				Proto: netsim.ProtoTCP, Flags: flags, Length: length}
 		}
 		add(flow(t0, netsim.FlagSYN, 60))
-		for k := 0; k < s.synRetries[i]; k++ {
+		for k := 0; k < synRetries[i]; k++ {
 			add(flow(t0+int64(k+1)*1_000_000, netsim.FlagSYN, 60))
 		}
-		est := t0 + int64(s.synRetries[i])*1_000_000
+		est := t0 + int64(synRetries[i])*1_000_000
 		add(reply(est+20_000, netsim.FlagSYN|netsim.FlagACK, 60))
 		add(flow(est+40_000, netsim.FlagACK, 52))
 		add(flow(est+60_000, netsim.FlagACK|netsim.FlagPSH, uint16(200+r.Intn(1200))))
@@ -89,7 +104,7 @@ func (u *User) EmitBin(bin int, emit func(netsim.Record)) int {
 	for i := 0; i < c.UDP; i++ {
 		t0 := binStart + int64(r.Float64()*float64(width-2_000_000))
 		dst := netsim.Endpoint{
-			Addr: u.destAddr(s.destIdx[c.TCP+i]),
+			Addr: u.destAddr(destIdx[c.TCP+i]),
 			Port: uint16(1024 + r.Intn(60000)),
 		}
 		if dst.Port == netsim.PortDNS {
@@ -122,7 +137,7 @@ func (u *User) EmitBin(bin int, emit func(netsim.Record)) int {
 	for _, rec := range recs {
 		emit(rec)
 	}
-	return len(recs)
+	return len(recs), recs
 }
 
 // WriteTrace streams the user's packets for bins [fromBin, toBin)
@@ -135,9 +150,12 @@ func (u *User) WriteTrace(w io.Writer, fromBin, toBin int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// One batch generator serves every bin: the week state, Zipf rank
+	// table and record scratch amortize across the whole trace.
+	g := u.NewGenerator()
 	var writeErr error
 	for b := fromBin; b < toBin && writeErr == nil; b++ {
-		u.EmitBin(b, func(rec netsim.Record) {
+		g.EmitBin(b, func(rec netsim.Record) {
 			if writeErr == nil {
 				writeErr = tw.Write(rec)
 			}

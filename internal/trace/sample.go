@@ -2,6 +2,8 @@ package trace
 
 import (
 	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/features"
 	"repro/internal/xrand"
@@ -22,23 +24,33 @@ type binSample struct {
 	synRetries []int
 }
 
-// rng returns the deterministic RNG stream for (user, bin).
-func (u *User) rng(bin int) *xrand.Source {
-	// Mix the coordinates through distinct odd multipliers so nearby
-	// (user, bin) pairs land in unrelated streams.
+// binSeed returns the seed of the deterministic RNG stream for
+// (user, bin). The coordinates mix through distinct odd multipliers
+// so nearby (user, bin) pairs land in unrelated streams.
+func (u *User) binSeed(bin int) uint64 {
 	seed := u.cfg.Seed
 	seed ^= uint64(u.ID+1) * 0x9e3779b97f4a7c15
 	seed ^= uint64(bin+1) * 0xc2b2ae3d27d4eb4f
-	return xrand.New(seed)
+	return seed
 }
 
-// weekRng returns the deterministic RNG for (user, week) draws; salt
-// separates independent uses (drift vs episodes).
-func (u *User) weekRng(week int, salt uint64) *xrand.Source {
+// rng returns the deterministic RNG stream for (user, bin).
+func (u *User) rng(bin int) *xrand.Source {
+	return xrand.New(u.binSeed(bin))
+}
+
+// weekSeed returns the seed of the deterministic RNG for (user, week)
+// draws; salt separates independent uses (drift vs episodes).
+func (u *User) weekSeed(week int, salt uint64) uint64 {
 	seed := u.cfg.Seed
 	seed ^= uint64(u.ID+1) * 0x9e3779b97f4a7c15
 	seed ^= uint64(week+1) * 0xd6e8feb86659fd93
-	return xrand.New(seed ^ salt)
+	return seed ^ salt
+}
+
+// weekRng returns the deterministic RNG for (user, week) draws.
+func (u *User) weekRng(week int, salt uint64) *xrand.Source {
+	return xrand.New(u.weekSeed(week, salt))
 }
 
 // episode is one sustained high-activity session (a bulk download, a
@@ -61,16 +73,20 @@ type episodeSlot struct {
 // episodes returns the user's episode sessions for a week,
 // deterministically derived from (seed, user, week).
 func (u *User) episodes(week int) []episode {
-	r := u.weekRng(week, 0x9e11)
+	return u.appendEpisodes(u.weekRng(week, 0x9e11), nil)
+}
+
+// appendEpisodes derives one week's episodes from r — which must be
+// freshly seeded to the (user, week, 0x9e11) stream — appending to
+// eps. It is shared by the per-bin reference path (episodes) and the
+// batch generator's per-week cache, so both consume the identical
+// draw sequence.
+func (u *User) appendEpisodes(r *xrand.Source, eps []episode) []episode {
 	// Low-variance episode count: usage patterns recur week to week.
 	n := int(u.episodeRate)
 	if r.Float64() < u.episodeRate-float64(n) {
 		n++
 	}
-	if n == 0 {
-		return nil
-	}
-	eps := make([]episode, 0, n)
 	for i := 0; i < n; i++ {
 		slot := u.episodeSlots[i%len(u.episodeSlots)]
 		start := slot.start + r.Intn(5) - 2 // habitual time with ±30 min jitter
@@ -94,8 +110,14 @@ func (u *User) episodes(week int) []episode {
 func (u *User) episodeLevel(bin int) float64 {
 	week := u.Week(bin)
 	off := bin - week*u.cfg.BinsPerWeek()
+	return episodeLevelAt(u.episodes(week), off)
+}
+
+// episodeLevelAt returns the episode multiplier in effect at the
+// given bin offset within the week.
+func episodeLevelAt(eps []episode, off int) float64 {
 	level := 1.0
-	for _, e := range u.episodes(week) {
+	for _, e := range eps {
 		if off >= e.start && off < e.end && e.level > level {
 			level = e.level
 		}
@@ -127,7 +149,13 @@ func (u *User) Activity(bin int) float64 {
 
 // offlineProb is the probability the laptop is suspended during bin.
 func (u *User) offlineProb(bin int) float64 {
-	act := u.Activity(bin)
+	return offlineProbFor(u.Activity(bin))
+}
+
+// offlineProbFor maps the activity multiplier to the suspension
+// probability; shared by the reference path and the batch generator
+// (which computes Activity once per bin).
+func offlineProbFor(act float64) float64 {
 	switch {
 	case act >= 1.0:
 		return 0.08
@@ -140,6 +168,16 @@ func (u *User) offlineProb(bin int) float64 {
 	}
 }
 
+// driftFrom draws the weekly drift triple from r, which must be
+// freshly seeded to the (user, week, 0xabcd) stream; shared by
+// weekDrift and the batch generator's per-week cache.
+func (u *User) driftFrom(r *xrand.Source) (float64, float64, float64) {
+	sigma := 0.05 + 0.42*sigmoid(1.6*(u.Size-1.9))
+	return math.Exp(r.Normal(0, sigma)),
+		math.Exp(r.Normal(0, sigma)),
+		math.Exp(r.Normal(0, 0.5*sigma))
+}
+
 // weekDrift returns the per-feature multiplicative drift for the
 // user's given week: (tcp, udp, dns). Drift volatility grows with
 // user size: heavy users' upper-tail behavior is far less stationary
@@ -149,14 +187,16 @@ func (u *User) offlineProb(bin int) float64 {
 // dense region, so their drift floods the console with false alarms,
 // while per-user thresholds sit in each user's own sparse tail.
 func (u *User) weekDrift(week int) (float64, float64, float64) {
-	r := u.weekRng(week, 0xabcd)
-	sigma := 0.05 + 0.42*sigmoid(1.6*(u.Size-1.9))
-	return math.Exp(r.Normal(0, sigma)),
-		math.Exp(r.Normal(0, sigma)),
-		math.Exp(r.Normal(0, 0.5*sigma))
+	return u.driftFrom(u.weekRng(week, 0xabcd))
 }
 
-// sample draws the bin's full realization.
+// sample draws the bin's full realization. It is the reference
+// sampler: a self-contained per-bin derivation kept deliberately
+// simple (fresh RNGs, fresh slices) that defines the model. The
+// batch engine (Generator.sampleInto) re-implements it with cached
+// week state and pooled scratch and must stay draw-for-draw
+// identical; the randomized equivalence tests in gen_test.go pin the
+// two together.
 func (u *User) sample(bin int) binSample {
 	r := u.rng(bin)
 	var s binSample
@@ -226,13 +266,20 @@ func (u *User) sample(bin int) binSample {
 	return s
 }
 
+// distinctScratch pools the sort buffers of countDistinct's large
+// path, so concurrent per-bin callers stay allocation-free above 32
+// destinations.
+var distinctScratch = sync.Pool{
+	New: func() any { s := make([]int, 0, 256); return &s },
+}
+
 // countDistinct counts unique values in idx without mutating it.
 func countDistinct(idx []int) int {
 	if len(idx) <= 1 {
 		return len(idx)
 	}
 	if len(idx) <= 32 {
-		// quadratic path avoids map allocation for the common case
+		// quadratic path avoids any scratch for the common case
 		n := 0
 		for i, v := range idx {
 			dup := false
@@ -248,11 +295,21 @@ func countDistinct(idx []int) int {
 		}
 		return n
 	}
-	seen := make(map[int]struct{}, len(idx))
-	for _, v := range idx {
-		seen[v] = struct{}{}
+	// Sort a pooled copy and count runs: no per-bin map, no per-bin
+	// allocation. (The batch generator counts on an epoch-marked
+	// dense table instead; see Generator.)
+	bufp := distinctScratch.Get().(*[]int)
+	buf := append((*bufp)[:0], idx...)
+	sort.Ints(buf)
+	n := 1
+	for i := 1; i < len(buf); i++ {
+		if buf[i] != buf[i-1] {
+			n++
+		}
 	}
-	return len(seen)
+	*bufp = buf
+	distinctScratch.Put(bufp)
+	return n
 }
 
 // BinCounts returns the six feature values for (user, bin). It is
@@ -265,9 +322,17 @@ func (u *User) BinCounts(bin int) features.Counts {
 
 // Series materializes the full per-bin feature matrix for the user:
 // one row per bin in canonical feature order. This is the fast path
-// used by the large-scale experiments.
+// used by the large-scale experiments and the fleet harness: it runs
+// on a week-batched Generator, so per-week state, sampling scratch
+// and the Zipf rank table are computed once instead of per bin.
 func (u *User) Series() *features.Matrix {
-	return features.FromCounts(u.cfg.BinWidth, u.cfg.StartMicros, u.Bins(), u.BinCounts)
+	m := features.NewMatrix(u.cfg.BinWidth, u.cfg.StartMicros, u.Bins())
+	g := u.NewGenerator()
+	for w := 0; w < u.cfg.Weeks; w++ {
+		lo, hi := u.WeekSlice(w)
+		g.GenerateWeek(w, m.Rows[lo:hi])
+	}
+	return m
 }
 
 // WeekSlice returns the half-open bin range [lo, hi) of the given

@@ -72,7 +72,10 @@ func (r *Source) poissonKnuth(mean float64) int {
 	k := 0
 	p := 1.0
 	for {
-		p *= r.Float64()
+		// float64(w)*2^-53 equals Float64's w/2^53 bit for bit (both
+		// round the same exact real once); spelled out so the draw
+		// inlines.
+		p *= float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 		if p <= limit {
 			return k
 		}
@@ -88,8 +91,8 @@ func (r *Source) poissonPTRS(mean float64) int {
 	vr := 0.9277 - 3.6224/(b-2)
 	logMean := math.Log(mean)
 	for {
-		u := r.Float64() - 0.5
-		v := r.Float64()
+		u := float64(r.Uint64()>>11)*(1.0/(1<<53)) - 0.5
+		v := float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 		us := 0.5 - math.Abs(u)
 		k := math.Floor((2*a/us+b)*u + mean + 0.43)
 		if us >= 0.07 && v <= vr {
@@ -112,16 +115,19 @@ func logGamma(x float64) float64 {
 }
 
 // Binomial returns a binomial variate: the number of successes in n
-// independent trials each succeeding with probability p. Implemented
-// by inversion for small n*p and by per-trial sampling otherwise;
-// adequate for the small n used in this codebase.
+// independent trials each succeeding with probability p, one uniform
+// per trial. The trials compare the raw 53-bit words against an
+// integer threshold, which decides identically to the float compare
+// (see Threshold53) while keeping the loop free of float conversions
+// and calls.
 func (r *Source) Binomial(n int, p float64) int {
 	if n < 0 || p < 0 || p > 1 {
 		panic(fmt.Sprintf("xrand: Binomial requires n >= 0 and p in [0,1], got n=%d p=%g", n, p))
 	}
+	t := Threshold53(p)
 	k := 0
 	for i := 0; i < n; i++ {
-		if r.Float64() < p {
+		if r.Uint64()>>11 < t {
 			k++
 		}
 	}
@@ -132,7 +138,16 @@ func (r *Source) Binomial(n int, p float64) int {
 // s > 0, using rejection-inversion (Hörmann & Derflinger). Rank 1 is
 // the most probable.
 type Zipf struct {
-	src         *Source
+	src *Source
+	zipfCore
+}
+
+// zipfCore holds the distribution constants and the per-draw
+// rejection-inversion step shared by Zipf (draws transcendentals per
+// call) and ZipfRanks (precomputed rank-boundary table). Both must
+// produce identical variates from identical uniforms, so the step
+// arithmetic lives here in exactly one place.
+type zipfCore struct {
 	n           float64
 	s           float64
 	hIntegralX1 float64
@@ -140,43 +155,58 @@ type Zipf struct {
 	threshold   float64
 }
 
-// NewZipf constructs a Zipf sampler. It panics if n < 1 or s <= 0.
-func NewZipf(src *Source, n int, s float64) *Zipf {
-	if n < 1 || s <= 0 {
-		panic(fmt.Sprintf("xrand: NewZipf requires n >= 1 and s > 0, got n=%d s=%g", n, s))
-	}
-	z := &Zipf{src: src, n: float64(n), s: s}
+func newZipfCore(n int, s float64) zipfCore {
+	z := zipfCore{n: float64(n), s: s}
 	z.hIntegralX1 = z.hIntegral(1.5) - 1
 	z.hIntegralN = z.hIntegral(z.n + 0.5)
 	z.threshold = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
 	return z
 }
 
+// step runs one rejection-inversion iteration on the uniform u drawn
+// from [hIntegralN, hIntegralX1]: it returns the rank and true on
+// acceptance, or false when the draw is rejected and the caller must
+// redraw.
+func (z *zipfCore) step(u float64) (int, bool) {
+	x := z.hIntegralInv(u)
+	k := math.Floor(x + 0.5)
+	if k < 1 {
+		k = 1
+	} else if k > z.n {
+		k = z.n
+	}
+	if k-x <= z.threshold || u >= z.hIntegral(k+0.5)-z.h(k) {
+		return int(k), true
+	}
+	return 0, false
+}
+
+// NewZipf constructs a Zipf sampler. It panics if n < 1 or s <= 0.
+func NewZipf(src *Source, n int, s float64) *Zipf {
+	if n < 1 || s <= 0 {
+		panic(fmt.Sprintf("xrand: NewZipf requires n >= 1 and s > 0, got n=%d s=%g", n, s))
+	}
+	return &Zipf{src: src, zipfCore: newZipfCore(n, s)}
+}
+
 // Next returns the next Zipf variate in [1, n].
 func (z *Zipf) Next() int {
 	for {
 		u := z.hIntegralN + z.src.Float64()*(z.hIntegralX1-z.hIntegralN)
-		x := z.hIntegralInv(u)
-		k := math.Floor(x + 0.5)
-		if k < 1 {
-			k = 1
-		} else if k > z.n {
-			k = z.n
-		}
-		if k-x <= z.threshold || u >= z.hIntegral(k+0.5)-z.h(k) {
-			return int(k)
+		if k, ok := z.step(u); ok {
+			return k
 		}
 	}
 }
 
-func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+func (z *zipfCore) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
 
-func (z *Zipf) hIntegral(x float64) float64 {
+func (z *zipfCore) hIntegral(x float64) float64 {
 	logX := math.Log(x)
 	return helper2((1-z.s)*logX) * logX
 }
 
-func (z *Zipf) hIntegralInv(x float64) float64 {
+func (z *zipfCore) hIntegralInv(x float64) float64 {
 	t := x * (1 - z.s)
 	if t < -1 {
 		t = -1

@@ -21,8 +21,11 @@ import (
 
 // Source is a deterministic pseudo-random source implementing
 // xoshiro256**. The zero value is NOT usable; construct with New.
+// The four state words are scalar fields (not an array) so Uint64
+// stays within the compiler's inlining budget — every sampler's draw
+// loop bottoms out there.
 type Source struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 
 	// polar-method cache for NormFloat64
 	spare     float64
@@ -42,9 +45,10 @@ func New(seed uint64) *Source {
 func (r *Source) Reseed(seed uint64) {
 	r.haveSpare = false
 	sm := seed
-	for i := range r.s {
-		sm, r.s[i] = splitmix64(sm)
-	}
+	sm, r.s0 = splitmix64(sm)
+	sm, r.s1 = splitmix64(sm)
+	sm, r.s2 = splitmix64(sm)
+	_, r.s3 = splitmix64(sm)
 }
 
 // splitmix64 advances the SplitMix64 state and returns the new state
@@ -57,20 +61,20 @@ func splitmix64(state uint64) (next, out uint64) {
 	return state, z ^ (z >> 31)
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint64 returns the next 64 uniformly distributed bits. The xoshiro
+// update is algebraically flattened — each new state word is an
+// independent expression over the loaded state — so the four stores
+// have no serial dependency chain; every distribution sampler sits in
+// a draw loop on top of this.
 func (r *Source) Uint64() uint64 {
-	s := &r.s
-	result := rotl(s[1]*5, 7) * 9
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = rotl(s[3], 45)
-	return result
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	t := s3 ^ s1
+	r.s0 = s0 ^ t
+	r.s1 = s1 ^ s2 ^ s0
+	r.s2 = s2 ^ s0 ^ s1<<17
+	r.s3 = t<<45 | t>>19
+	x := s1 * 5
+	return (x<<7 | x>>57) * 9
 }
 
 // Fork returns a new Source whose stream is independent of r's. It is
@@ -78,7 +82,7 @@ func (r *Source) Uint64() uint64 {
 // parent by 2^192 steps; up to 2^64 forks have non-overlapping
 // subsequences.
 func (r *Source) Fork() *Source {
-	child := &Source{s: r.s}
+	child := &Source{s0: r.s0, s1: r.s1, s2: r.s2, s3: r.s3}
 	r.longJump()
 	return child
 }
@@ -93,20 +97,41 @@ func (r *Source) longJump() {
 	for _, jp := range longJumpPoly {
 		for b := 0; b < 64; b++ {
 			if jp&(1<<uint(b)) != 0 {
-				s0 ^= r.s[0]
-				s1 ^= r.s[1]
-				s2 ^= r.s[2]
-				s3 ^= r.s[3]
+				s0 ^= r.s0
+				s1 ^= r.s1
+				s2 ^= r.s2
+				s3 ^= r.s3
 			}
 			r.Uint64()
 		}
 	}
-	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 random bits.
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Threshold53 converts a probability into an integer threshold for
+// 53-bit uniforms: for any Source r,
+//
+//	r.Uint64()>>11 < Threshold53(p)
+//
+// consumes one draw and decides exactly like r.Float64() < p — the
+// 53-bit word m and the quotient m/2^53 are both exact, so the float
+// comparison and the integer comparison cut the same set of draws.
+// Hot accept/reject loops use this to stay in integer registers (and
+// within the compiler's inlining budget, which the two-deep
+// Float64→Uint64 call no longer fits).
+func Threshold53(p float64) uint64 {
+	if !(p > 0) {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
 }
 
 // Float64Open returns a uniform float64 in (0, 1); useful as input to

@@ -28,7 +28,6 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/features"
-	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -89,7 +88,7 @@ func NewEnterprise(opts Options) (*Enterprise, error) {
 func (e *Enterprise) Users() int { return len(e.Pop.Users) }
 
 // Matrix returns user u's feature matrix, materializing it on first
-// use.
+// use with the week-batched trace generator.
 func (e *Enterprise) Matrix(u int) *features.Matrix {
 	e.once[u].Do(func() {
 		e.matrices[u] = e.Pop.Users[u].Series()
@@ -97,25 +96,21 @@ func (e *Enterprise) Matrix(u int) *features.Matrix {
 	return e.matrices[u]
 }
 
-// Materialize builds every user's matrix using all CPUs and warms
-// the columnar analysis workspace (one parallel extract-and-sort
-// pass over every feature-week); experiments call it up front so
-// their own timings exclude generation.
+// Materialize generates every user's matrix and builds the columnar
+// analysis workspace in one fused parallel pass: each worker runs the
+// batch generation engine for its user and extracts + sorts the
+// user's feature-week columns while the rows are cache-hot.
+// Experiments call it up front so their own timings exclude
+// generation.
 func (e *Enterprise) Materialize() {
-	e.workspace().Warm()
-}
-
-// materializeAll builds every user's matrix in parallel.
-func (e *Enterprise) materializeAll() {
-	par.ForEach(len(e.matrices), 0, func(u int) { e.Matrix(u) })
+	e.workspace()
 }
 
 // workspace returns the enterprise's columnar analysis workspace,
 // building it (and all matrices) on first use.
 func (e *Enterprise) workspace() *analysis.Workspace {
 	e.wsOnce.Do(func() {
-		e.materializeAll()
-		e.ws = analysis.New(e.matrices)
+		e.ws = analysis.NewGenerated(len(e.matrices), e.Matrix)
 	})
 	return e.ws
 }

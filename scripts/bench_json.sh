@@ -10,9 +10,10 @@
 #
 # Check mode compares a fresh measured run against the committed
 # BENCH_repro.json and exits non-zero if any benchmark present in
-# both regressed by more than 20% in ns/op — the guard that keeps
-# perf PRs from silently undoing each other. Benchmarks only in one
-# side (added or retired) are ignored.
+# both regressed by more than 20% in ns/op or more than 25% in
+# allocs/op — the guard that keeps perf PRs from silently undoing
+# each other (alloc regressions are how generation-path wins decay).
+# Benchmarks only in one side (added or retired) are ignored.
 set -eu
 
 if [ "${1:-}" = "-check" ]; then
@@ -28,17 +29,24 @@ if [ "${1:-}" = "-check" ]; then
     inb && /"name"/ {
         name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
         ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
-        print name, ns
+        al = "-"
+        if ($0 ~ /"allocs_per_op"/) {
+            al = $0; sub(/.*"allocs_per_op": /, "", al); sub(/[,}].*/, "", al)
+        }
+        print name, ns, al
     }
     ' "$baseline" > /tmp/bench_baseline_pairs.$$
     status=0
     awk -v failfile=/tmp/bench_check_fail.$$ '
-    NR == FNR { base[$1] = $2; next }
+    NR == FNR { base[$1] = $2; basealloc[$1] = $3; next }
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
-        ns = ""
-        for (i = 3; i <= NF; i++) if ($(i) == "ns/op") ns = $(i - 1)
+        ns = ""; al = ""
+        for (i = 3; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns = $(i - 1)
+            if ($(i) == "allocs/op") al = $(i - 1)
+        }
         if (ns == "" || !(name in base)) next
         compared++
         ratio = ns / base[name]
@@ -47,6 +55,20 @@ if [ "${1:-}" = "-check" ]; then
             fail = 1
         } else {
             printf "ok %s: %.4g ns/op vs baseline %.4g\n", name, ns, base[name]
+        }
+        # allocs/op guard: >25% growth (or any allocs appearing on a
+        # previously allocation-free benchmark) fails the check.
+        if (al != "" && (name in basealloc) && basealloc[name] != "-") {
+            ab = basealloc[name] + 0
+            if (ab == 0) {
+                if (al + 0 > 0) {
+                    printf "REGRESSION %s: %s allocs/op vs baseline 0\n", name, al
+                    fail = 1
+                }
+            } else if (al / ab > 1.25) {
+                printf "REGRESSION %s: %s allocs/op vs baseline %s (%.0f%%)\n", name, al, ab, (al / ab - 1) * 100
+                fail = 1
+            }
         }
     }
     END {
