@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak bench bench-check experiments
+.PHONY: all build vet test race verify soak bench bench-check experiments snapshot-smoke
 
 all: verify
 
@@ -46,6 +46,18 @@ bench:
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/trace ./internal/xrand | tee /tmp/bench_check.txt
 	./scripts/bench_json.sh -check /tmp/bench_check.txt BENCH_repro.json
+
+# snapshot-smoke proves the on-disk workspace store end to end: the
+# first pass materializes a small enterprise into the store and runs
+# the golden/equivalence/sweep suites against it (cold, sharded write
+# path); the second pass re-runs them riding the mapped snapshot
+# (warm path). -count=1 defeats the test cache so the warm pass
+# really re-executes. CI runs this as its own job with the store
+# cached between runs.
+SNAPSHOT_SMOKE_DIR ?= /tmp/repro-snapshot-smoke
+snapshot-smoke:
+	REPRO_SNAPSHOT_DIR=$(SNAPSHOT_SMOKE_DIR) $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestAttackSweep|TestEnterprise' .
+	REPRO_SNAPSHOT_DIR=$(SNAPSHOT_SMOKE_DIR) $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestAttackSweep|TestEnterprise' .
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -12,7 +12,10 @@ package repro
 //	go test -bench=. -benchmem .
 
 import (
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -331,6 +334,75 @@ func BenchmarkGenerateUsers5000(b *testing.B) {
 			b.Fatal(err)
 		}
 		ent.Materialize()
+	}
+	bins := float64(users) * float64(weeks) * 672
+	b.ReportMetric(bins*float64(b.N)/b.Elapsed().Seconds(), "user-bins/s")
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot store (cold vs warm materialization)
+
+// BenchmarkSnapshotLoad5000 measures the warm path at ROADMAP scale:
+// mapping the 5000-user × 2-week workspace back from a sealed
+// snapshot (header + checksum validation plus zero-copy view
+// construction) through the public enterprise API. The snapshot is
+// written once outside the timed region; the cold counterpart of this
+// number is scaleEnterprise's Materialize (see EXPERIMENTS.md's
+// cold-vs-warm table).
+func BenchmarkSnapshotLoad5000(b *testing.B) {
+	if testing.Short() {
+		b.Skip("snapshot setup saves a ~1 GB store; skipped in short mode (CI bench-smoke)")
+	}
+	e := scaleEnterprise(b)
+	dir := b.TempDir()
+	if _, err := e.SaveSnapshot(dir); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ent, err := NewEnterprise(Options{Users: 5000, Weeks: 2, Seed: 1, SnapshotDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ent.Materialize()
+		b.StopTimer()
+		if err := ent.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkMaterializeSharded20000 measures the cold sharded path at
+// 4x ROADMAP scale: 20000 users × 1 week streamed through
+// 1024-user shards into a snapshot and mapped back, so peak heap
+// stays bounded by the shard buffer while the full enterprise lands
+// on disk. Each iteration writes a fresh store (a second pass over
+// the same directory would be a warm hit and measure nothing).
+func BenchmarkMaterializeSharded20000(b *testing.B) {
+	if testing.Short() {
+		b.Skip("writes a ~2 GB store per iteration; skipped in short mode (CI bench-smoke)")
+	}
+	const users, weeks = 20000, 1
+	root := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(root, fmt.Sprint(i))
+		ent, err := NewEnterprise(Options{
+			Users: users, Weeks: weeks, Seed: uint64(i + 1),
+			SnapshotDir: dir, SnapshotShard: 1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ent.Materialize()
+		b.StopTimer()
+		if err := ent.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
 	}
 	bins := float64(users) * float64(weeks) * 672
 	b.ReportMetric(bins*float64(b.N)/b.Elapsed().Seconds(), "user-bins/s")

@@ -4,7 +4,14 @@
 // Usage:
 //
 //	experiments [-users 350] [-weeks 2] [-seed 1] [-run all|fig1,table3,...]
+//	            [-snapshot DIR] [-shard N]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
+//
+// With -snapshot, the materialized workspace is content-addressed in
+// DIR: the first run writes it (streamed in -shard-user batches, so
+// very large populations stay within laptop memory) and every later
+// run with the same parameters maps it back and skips generation
+// entirely.
 //
 // Each experiment prints a textual rendering of the corresponding
 // paper artifact; EXPERIMENTS.md records the expected shapes. The
@@ -32,6 +39,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "population seed")
 	run := flag.String("run", "all", "comma-separated experiment ids (fig1, fig2, table2, fig3a, fig3b, table3, fig4a, fig4b, fig5a, fig5b) or 'all'")
 	binMinutes := flag.Int("bin", 15, "aggregation window in minutes (5 or 15 in the paper)")
+	snapshotDir := flag.String("snapshot", "", "workspace snapshot directory (warm runs skip generation; empty disables)")
+	shard := flag.Int("shard", 0, "users per shard when cold-building a snapshot (0 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -41,10 +50,10 @@ func main() {
 	// profile files — run before os.Exit. log.Fatalf anywhere below
 	// would truncate the CPU profile/trace and skip the heap profile,
 	// exactly on the failing runs one most wants to profile.
-	os.Exit(realMain(*users, *weeks, *seed, *run, *binMinutes, *cpuProfile, *memProfile, *traceFile))
+	os.Exit(realMain(*users, *weeks, *seed, *run, *binMinutes, *snapshotDir, *shard, *cpuProfile, *memProfile, *traceFile))
 }
 
-func realMain(users, weeks int, seed uint64, run string, binMinutes int, cpuProfile, memProfile, traceFile string) int {
+func realMain(users, weeks int, seed uint64, run string, binMinutes int, snapshotDir string, shard int, cpuProfile, memProfile, traceFile string) int {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -95,10 +104,12 @@ func realMain(users, weeks int, seed uint64, run string, binMinutes int, cpuProf
 	}
 	start := time.Now()
 	ent, err := repro.NewEnterprise(repro.Options{
-		Users:    users,
-		Weeks:    weeks,
-		Seed:     seed,
-		BinWidth: time.Duration(binMinutes) * time.Minute,
+		Users:         users,
+		Weeks:         weeks,
+		Seed:          seed,
+		BinWidth:      time.Duration(binMinutes) * time.Minute,
+		SnapshotDir:   snapshotDir,
+		SnapshotShard: shard,
 	})
 	if err != nil {
 		log.Printf("building enterprise: %v", err)

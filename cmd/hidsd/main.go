@@ -25,11 +25,13 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/console"
 	"repro/internal/features"
 	"repro/internal/fleet"
 	"repro/internal/flows"
 	"repro/internal/netsim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -43,6 +45,7 @@ func main() {
 	trainBins := flag.Int("train-bins", 672, "bins used for training upload")
 	binMinutes := flag.Int("bin", 15, "aggregation window in minutes")
 	batchEvery := flag.Int("batch", 96, "flush alert batches every N windows")
+	snapDir := flag.String("snapshot", "", "workspace snapshot directory (warm agents map their matrix instead of generating)")
 	flag.Parse()
 
 	pop, err := trace.NewPopulation(trace.Config{
@@ -58,7 +61,7 @@ func main() {
 		log.Fatalf("hidsd: user %d outside population of %d", *userID, *users)
 	}
 	u := pop.Users[*userID]
-	m, err := buildMatrix(*tracePath, *userID, u, pop)
+	m, err := buildMatrix(*tracePath, *snapDir, *userID, u, pop)
 	if err != nil {
 		log.Fatalf("hidsd: %v", err)
 	}
@@ -89,10 +92,18 @@ func main() {
 }
 
 // buildMatrix loads the host's feature matrix from an .etr trace via
-// the packet pipeline, or synthesizes it via the generator fast path
-// (the two are bit-identical; the tests prove it).
-func buildMatrix(tracePath string, userID int, u *trace.User, pop *trace.Population) (*features.Matrix, error) {
+// the packet pipeline, from a warm workspace snapshot, or synthesizes
+// it via the generator fast path (all bit-identical; the tests prove
+// it).
+func buildMatrix(tracePath, snapDir string, userID int, u *trace.User, pop *trace.Population) (*features.Matrix, error) {
 	if tracePath == "" {
+		if snapDir != "" {
+			if m := snapshotMatrix(snapDir, userID, pop); m != nil {
+				log.Printf("hidsd: mapped %d windows for user %d from snapshot", m.Bins(), userID)
+				return m, nil
+			}
+			log.Printf("hidsd: no usable snapshot in %s, synthesizing", snapDir)
+		}
 		m := u.Series()
 		log.Printf("hidsd: synthesized %d windows for user %d", m.Bins(), userID)
 		return m, nil
@@ -115,4 +126,23 @@ func buildMatrix(tracePath string, userID int, u *trace.User, pop *trace.Populat
 	}
 	log.Printf("hidsd: extracted %d windows from %s", m.Bins(), tracePath)
 	return m, nil
+}
+
+// snapshotMatrix clones one user's matrix out of a warm workspace
+// snapshot. The clone is deliberate: the agent owns its matrix for
+// the process lifetime, while the mapping is closed before returning.
+// Returns nil (load-only, no cold build — one agent must not
+// materialize a whole population) when the snapshot is absent, stale
+// or corrupt.
+func snapshotMatrix(dir string, userID int, pop *trace.Population) *features.Matrix {
+	key, err := snapshot.KeyFor(pop.Cfg)
+	if err != nil {
+		return nil
+	}
+	ws, err := analysis.Load(dir, key)
+	if err != nil {
+		return nil
+	}
+	defer ws.Close()
+	return ws.Matrices()[userID].Clone()
 }

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	tracegen -out /tmp/traces -users 10 -weeks 1 [-seed 1] [-bin 15]
+//	tracegen -snapshot /var/cache/repro -users 20000 -weeks 2
 //
 // Each file <out>/host-<id>.etr contains the user's full packet
 // stream; internal/flows.ExtractTrace (or cmd/hidsd) turns it back
 // into feature time series that agree bit-for-bit with the
 // generator's fast path.
+//
+// With -snapshot, the population's feature workspace is additionally
+// materialized into the content-addressed snapshot store (streamed in
+// -shard-user batches, so a 100k-user enterprise fits laptop memory);
+// -out may then be omitted to produce only the snapshot. A snapshot
+// that already exists for these parameters is left untouched — the
+// run reports the warm hit and skips generation.
 package main
 
 import (
@@ -20,19 +28,24 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/features"
 	"repro/internal/netsim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
 func main() {
-	out := flag.String("out", "", "output directory (required)")
+	out := flag.String("out", "", "packet-trace output directory")
 	users := flag.Int("users", 10, "number of end hosts")
 	weeks := flag.Int("weeks", 1, "weeks of capture")
 	seed := flag.Uint64("seed", 1, "population seed")
 	binMinutes := flag.Int("bin", 15, "aggregation window in minutes")
 	pcap := flag.Bool("pcap", false, "also write libpcap files (host-NNN.pcap) readable by tcpdump/wireshark")
+	snapDir := flag.String("snapshot", "", "also materialize the feature workspace into this snapshot directory")
+	shard := flag.Int("shard", 0, "users per shard when materializing the snapshot (0 = default)")
 	flag.Parse()
-	if *out == "" {
+	if *out == "" && *snapDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -45,6 +58,12 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("tracegen: %v", err)
+	}
+	if *snapDir != "" {
+		writeSnapshot(pop, *snapDir, *shard)
+	}
+	if *out == "" {
+		return
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("tracegen: %v", err)
@@ -98,4 +117,30 @@ func main() {
 	}
 	fmt.Printf("wrote %d packets for %d users in %v\n",
 		totalRecords, *users, time.Since(start).Round(time.Millisecond))
+}
+
+// writeSnapshot materializes the population's feature workspace into
+// the content-addressed store, shard by shard, unless a valid
+// snapshot for these parameters already exists.
+func writeSnapshot(pop *trace.Population, dir string, shard int) {
+	key, err := snapshot.KeyFor(pop.Cfg)
+	if err != nil {
+		log.Fatalf("tracegen: snapshot key: %v", err)
+	}
+	start := time.Now()
+	ws, warm, err := analysis.LoadOrMaterialize(dir, key, shard,
+		func(u int, rows [][features.NumFeatures]float64) {
+			pop.Users[u].FillSeries(rows)
+		})
+	if err != nil {
+		log.Fatalf("tracegen: materializing snapshot: %v", err)
+	}
+	ws.Close()
+	if warm {
+		fmt.Printf("%s: warm (mapped in %v), generation skipped\n",
+			key.Path(dir), time.Since(start).Round(time.Millisecond))
+		return
+	}
+	fmt.Printf("%s: materialized %d users in %v\n",
+		key.Path(dir), pop.Cfg.Users, time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,211 @@
+package analysis
+
+// The snapshot integration: a materialized Workspace is a pure
+// function of its generation key, so it is computed once, persisted
+// in internal/snapshot's columnar format, and mapped back as
+// zero-copy views.
+//
+//   - Save serializes any workspace (rows are copied out of its
+//     matrices; sorted columns and day views are recomputed from the
+//     rows, which is bit-identical to the in-memory build because
+//     sorting the same column yields the same slice).
+//   - Load maps a snapshot and builds a workspace whose matrices,
+//     sorted columns, distributions and day views alias the mapping.
+//     Only the raw time-ordered columns are rebuilt (lazily, per
+//     block): rows interleave the six features, so a raw column is
+//     the one view the file cannot serve as a contiguous run.
+//   - MaterializeSharded streams a population through bounded
+//     user-shards straight into a snapshot writer — generate, derive,
+//     append, release — so peak heap is O(shard × record), not
+//     O(users × record), then Loads the result. The returned
+//     workspace is bit-identical to NewGenerated over the same
+//     generator.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"unsafe"
+
+	"repro/internal/features"
+	"repro/internal/par"
+	"repro/internal/snapshot"
+)
+
+// DefaultShardUsers is the shard granularity used when a caller does
+// not choose one: large enough to keep every core busy inside a
+// shard, small enough that a shard buffer stays in the tens of
+// megabytes at paper-scale geometries.
+const DefaultShardUsers = 512
+
+// Save writes the workspace to dir under the content-addressed key,
+// returning the sealed file's path. The key's geometry must match the
+// workspace; the key's generation fields (seed, trend, …) are the
+// caller's assertion of where the matrices came from — Save cannot
+// verify them, exactly as a build cache trusts its own key.
+func (w *Workspace) Save(dir string, key snapshot.Key) (string, error) {
+	lay := key.Layout()
+	if key.Users != w.users || key.Weeks != w.weeks ||
+		key.BinWidth != w.binWidth || lay.BinsPerWeek != w.binsPerWeek {
+		return "", fmt.Errorf("analysis: snapshot key geometry (%d users, %d weeks, %v bins) does not match workspace (%d, %d, %v)",
+			key.Users, key.Weeks, key.BinWidth, w.users, w.weeks, w.binWidth)
+	}
+	if sm := w.matrices[0].StartMicros; sm != key.StartMicros {
+		return "", fmt.Errorf("analysis: snapshot key start %d does not match workspace start %d", key.StartMicros, sm)
+	}
+	wr, err := snapshot.Create(dir, key)
+	if err != nil {
+		return "", err
+	}
+	if err := writeRecords(wr, w.users, DefaultShardUsers, func(u int, rec []float64) {
+		copy(rowsView(rec, lay), w.matrices[u].Rows)
+		fillDerived(rec, lay)
+	}); err != nil {
+		wr.Abort()
+		return "", err
+	}
+	if err := wr.Finish(); err != nil {
+		return "", err
+	}
+	return key.Path(dir), nil
+}
+
+// Load maps the snapshot addressed by key under dir into a zero-copy
+// workspace. Everything the workspace serves that the file holds —
+// matrices, sorted columns, the distributions adopting them, day
+// views — aliases the read-only mapping; mutating any of it faults.
+// Load itself only maps and checksums the file (the warm path is two
+// orders of magnitude cheaper than regeneration); per-(feature, week)
+// views are wired on first use by the workspace's existing lazy block
+// machinery. A missing, stale (engine or key mismatch) or corrupt
+// (size or checksum) file returns an error and the caller
+// regenerates. Close the workspace to release the mapping once
+// nothing reads from it anymore.
+func Load(dir string, key snapshot.Key) (*Workspace, error) {
+	snap, err := snapshot.Open(dir, key)
+	if err != nil {
+		return nil, err
+	}
+	lay := snap.Layout()
+	users, weeks, bpw := lay.Users, lay.Weeks, lay.BinsPerWeek
+	nBlocks := weeks * features.NumFeatures
+	w := &Workspace{
+		users:       users,
+		weeks:       weeks,
+		binsPerWeek: bpw,
+		binWidth:    key.BinWidth,
+		blocks:      make([]*block, nBlocks),
+		blockOnce:   make([]sync.Once, nBlocks),
+		memo:        make(map[string]*memoCell),
+		snap:        snap,
+	}
+	matSlab := make([]features.Matrix, users)
+	w.matrices = make([]*features.Matrix, users)
+	for u := range w.matrices {
+		matSlab[u] = features.Matrix{
+			BinWidth:    key.BinWidth,
+			StartMicros: key.StartMicros,
+			Rows:        snap.Rows(u),
+		}
+		w.matrices[u] = &matSlab[u]
+	}
+	return w, nil
+}
+
+// LoadOrMaterialize is the store's standard access chain: map the
+// snapshot if a valid one exists (warm == true; generate is never
+// called), otherwise cold-build it with MaterializeSharded. Callers
+// own the failure policy — the enterprise and the fleet harness fall
+// back to in-memory materialization, tracegen reports the error.
+func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers int, generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
+	if ws, err := Load(dir, key); err == nil {
+		return ws, true, nil
+	}
+	ws, err = MaterializeSharded(dir, key, shardUsers, generate)
+	return ws, false, err
+}
+
+// MaterializeSharded materializes a population straight into a
+// snapshot at dir and returns the loaded zero-copy workspace.
+// generate must fill rows (one user's full capture, Layout().Bins()
+// rows) deterministically and be safe for concurrent calls with
+// distinct u — it is the same contract as NewGenerated's matrixOf,
+// minus the Matrix wrapper. Users are processed in shards of
+// shardUsers (<= 0 means DefaultShardUsers): the shard buffer is the
+// only population-sized state ever resident, so peak heap stays
+// O(shardUsers) while populations of 20k–100k users stream to disk.
+func MaterializeSharded(dir string, key snapshot.Key, shardUsers int, generate func(u int, rows [][features.NumFeatures]float64)) (*Workspace, error) {
+	wr, err := snapshot.Create(dir, key)
+	if err != nil {
+		return nil, err
+	}
+	lay := wr.Layout()
+	if err := writeRecords(wr, key.Users, shardUsers, func(u int, rec []float64) {
+		generate(u, rowsView(rec, lay))
+		fillDerived(rec, lay)
+	}); err != nil {
+		wr.Abort()
+		return nil, err
+	}
+	if err := wr.Finish(); err != nil {
+		return nil, err
+	}
+	return Load(dir, key)
+}
+
+// writeRecords pulls user records through fill in bounded shards and
+// appends them to the writer in user order. One shard buffer is
+// reused for the whole run; fill runs on the shared worker pool.
+func writeRecords(wr *snapshot.Writer, users, shardUsers int, fill func(u int, rec []float64)) error {
+	if shardUsers <= 0 {
+		shardUsers = DefaultShardUsers
+	}
+	if shardUsers > users {
+		shardUsers = users
+	}
+	rf := wr.Layout().RecordFloats()
+	buf := make([]float64, shardUsers*rf)
+	for lo := 0; lo < users; lo += shardUsers {
+		n := min(shardUsers, users-lo)
+		chunk := buf[:n*rf]
+		par.ForEach(n, 0, func(i int) {
+			fill(lo+i, chunk[i*rf:(i+1)*rf:(i+1)*rf])
+		})
+		if err := wr.AppendUsers(chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowsView reinterprets a record's rows region as matrix rows.
+func rowsView(rec []float64, lay snapshot.Layout) [][features.NumFeatures]float64 {
+	return unsafe.Slice((*[features.NumFeatures]float64)(unsafe.Pointer(&rec[0])), lay.Bins())
+}
+
+// fillDerived computes a record's sorted columns and day views from
+// its rows region, in place. The arithmetic mirrors block.fillUser
+// and Workspace.DaySorted exactly — same extraction order, same
+// sort.Float64s — so a loaded snapshot is bit-identical to the
+// in-memory build.
+func fillDerived(rec []float64, lay snapshot.Layout) {
+	rows := rowsView(rec, lay)
+	bpw, bpd := lay.BinsPerWeek, lay.BinsPerDay
+	for week := 0; week < lay.Weeks; week++ {
+		base := week * bpw
+		for f := 0; f < features.NumFeatures; f++ {
+			off := lay.SortedOff(week, f)
+			col := rec[off : off+bpw : off+bpw]
+			for b := 0; b < bpw; b++ {
+				col[b] = rows[base+b][f]
+			}
+			doff := lay.DayOff(week, f)
+			day := rec[doff : doff+7*bpd : doff+7*bpd]
+			copy(day, col[:7*bpd])
+			for d := 0; d < 7; d++ {
+				sort.Float64s(day[d*bpd : (d+1)*bpd])
+			}
+			sort.Float64s(col)
+		}
+	}
+}

@@ -40,11 +40,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/par"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
 
 // Workspace holds the per-enterprise columnar cache. Construct with
-// New; the zero value is not usable.
+// New, NewGenerated, Load or MaterializeSharded; the zero value is
+// not usable.
 type Workspace struct {
 	matrices    []*features.Matrix
 	users       int
@@ -53,21 +55,51 @@ type Workspace struct {
 	binWidth    time.Duration
 
 	// blocks[w*NumFeatures+f] is the lazily built columnar view of
-	// one (feature, week); blockOnce guards each build.
+	// one (feature, week); blockOnce guards each build (NewGenerated
+	// fills every block eagerly and burns the onces; Load leaves them
+	// all unfired and ensureBlock wires each block from the mapped
+	// snapshot on first use).
 	blocks    []*block
 	blockOnce []sync.Once
 
 	mu   sync.Mutex
 	memo map[string]*memoCell
+
+	// snap is the backing store of a snapshot-loaded workspace (nil
+	// for in-memory ones): ensureBlock adopts its mapped sorted
+	// columns and DaySorted its day views, instead of re-deriving
+	// either from the matrices.
+	snap *snapshot.Snapshot
 }
 
 // block is the columnar view of one (feature, week): every user's
 // time-ordered column, the sorted counterpart, and an Empirical
-// adopting the sorted slice.
+// adopting the sorted slice. The per-user slices are carved out of
+// two block-wide slabs (or, for a snapshot-backed workspace, point
+// straight into the mapped file), so building a block costs O(1)
+// allocations instead of O(users).
 type block struct {
 	raw    [][]float64
 	sorted [][]float64
 	dists  []*stats.Empirical
+
+	// rawBuf/sortedBuf back the per-user slices; emp backs dists.
+	// sortedBuf is nil when sorted views alias a snapshot mapping.
+	rawBuf, sortedBuf []float64
+	emp               []stats.Empirical
+}
+
+// newBlock allocates a block whose column slices will be carved from
+// two users×binsPerWeek slabs.
+func newBlock(users, bpw int) *block {
+	return &block{
+		raw:       make([][]float64, users),
+		sorted:    make([][]float64, users),
+		dists:     make([]*stats.Empirical, users),
+		rawBuf:    make([]float64, users*bpw),
+		sortedBuf: make([]float64, users*bpw),
+		emp:       make([]stats.Empirical, users),
+	}
 }
 
 type memoCell struct {
@@ -141,11 +173,7 @@ func NewGenerated(users int, matrixOf func(u int) *features.Matrix) *Workspace {
 		memo:        make(map[string]*memoCell),
 	}
 	for idx := range w.blocks {
-		w.blocks[idx] = &block{
-			raw:    make([][]float64, users),
-			sorted: make([][]float64, users),
-			dists:  make([]*stats.Empirical, users),
-		}
+		w.blocks[idx] = newBlock(users, w.binsPerWeek)
 	}
 	par.ForEach(users, 0, func(u int) {
 		m := matrices[u]
@@ -158,7 +186,7 @@ func NewGenerated(users int, matrixOf func(u int) *features.Matrix) *Workspace {
 		}
 		for week := 0; week < weeks; week++ {
 			for _, f := range features.All() {
-				fillBlockUser(w.blocks[week*features.NumFeatures+int(f)], m, u, f, week)
+				w.blocks[week*features.NumFeatures+int(f)].fillUser(m, u, f, week, w.binsPerWeek)
 			}
 		}
 	})
@@ -206,38 +234,67 @@ func (w *Workspace) blockIndex(f features.Feature, week int) int {
 	return week*features.NumFeatures + int(f)
 }
 
-// fillBlockUser extracts, sorts and wraps one user's column of one
-// (feature, week) into the block — the single source of truth shared
-// by the lazy ensureBlock path and the fused NewGenerated pass.
-func fillBlockUser(b *block, m *features.Matrix, u int, f features.Feature, week int) {
+// fillUser extracts, sorts and wraps one user's column of one
+// (feature, week) into the block's slabs — the single source of truth
+// shared by the lazy ensureBlock path and the fused NewGenerated pass.
+func (b *block) fillUser(m *features.Matrix, u int, f features.Feature, week int, bpw int) {
 	lo, hi := m.WeekRange(week)
-	raw := m.ColumnSlice(f, lo, hi)
-	sorted := append([]float64(nil), raw...)
+	raw := b.rawBuf[u*bpw : (u+1)*bpw : (u+1)*bpw]
+	m.ColumnInto(raw, f, lo, hi)
+	sorted := b.sortedBuf[u*bpw : (u+1)*bpw : (u+1)*bpw]
+	copy(sorted, raw)
 	sort.Float64s(sorted)
-	d, err := stats.NewEmpiricalFromSorted(sorted)
-	if err != nil {
+	if err := b.emp[u].AdoptSorted(sorted); err != nil {
 		// Matrices are counters: never NaN, never empty for a
 		// complete week. Reaching here is a corrupted matrix.
 		panic(fmt.Sprintf("analysis: user %d %s week %d: %v", u, f, week, err))
 	}
 	b.raw[u] = raw
 	b.sorted[u] = sorted
-	b.dists[u] = d
+	b.dists[u] = &b.emp[u]
 }
 
 // ensureBlock builds the columnar view of one (feature, week) on
-// first use, fanning the per-user extract-and-sort over all CPUs.
+// first use, fanning the per-user extract-and-sort over all CPUs. On
+// a snapshot-backed workspace the sorted columns (and the
+// distributions adopting them) are zero-copy views of the mapping —
+// only the raw time-ordered columns are materialized here, because
+// rows interleave the six features so a raw column is the one view
+// the file cannot serve as a contiguous run.
 func (w *Workspace) ensureBlock(f features.Feature, week int) *block {
 	idx := w.blockIndex(f, week)
 	w.blockOnce[idx].Do(func() {
-		b := &block{
-			raw:    make([][]float64, w.users),
-			sorted: make([][]float64, w.users),
-			dists:  make([]*stats.Empirical, w.users),
+		bpw := w.binsPerWeek
+		var b *block
+		if w.snap != nil {
+			b = &block{
+				raw:    make([][]float64, w.users),
+				sorted: make([][]float64, w.users),
+				dists:  make([]*stats.Empirical, w.users),
+				rawBuf: make([]float64, w.users*bpw),
+				emp:    make([]stats.Empirical, w.users),
+			}
+			par.ForEach(w.users, 0, func(u int) {
+				s := w.snap.SortedColumn(u, week, int(f))
+				if err := b.emp[u].AdoptSorted(s); err != nil {
+					// The checksum passed, so this is a logically
+					// malformed writer, not disk corruption.
+					panic(fmt.Sprintf("analysis: snapshot user %d %s week %d: %v", u, f, week, err))
+				}
+				b.sorted[u] = s
+				b.dists[u] = &b.emp[u]
+				m := w.matrices[u]
+				lo, hi := m.WeekRange(week)
+				raw := b.rawBuf[u*bpw : (u+1)*bpw : (u+1)*bpw]
+				m.ColumnInto(raw, f, lo, hi)
+				b.raw[u] = raw
+			})
+		} else {
+			b = newBlock(w.users, bpw)
+			par.ForEach(w.users, 0, func(u int) {
+				b.fillUser(w.matrices[u], u, f, week, bpw)
+			})
 		}
-		par.ForEach(w.users, 0, func(u int) {
-			fillBlockUser(b, w.matrices[u], u, f, week)
-		})
 		w.blocks[idx] = b
 	})
 	return w.blocks[idx]
@@ -286,6 +343,19 @@ func (w *Workspace) Memo(key string, fn func() (any, error)) (any, error) {
 	w.mu.Unlock()
 	cell.once.Do(func() { cell.val, cell.err = fn() })
 	return cell.val, cell.err
+}
+
+// Close releases the workspace's backing snapshot mapping, when it
+// was loaded from one (no-op otherwise). After Close every view the
+// workspace ever returned — matrices, columns, distributions — is
+// invalid: the caller must guarantee no goroutine still reads them.
+func (w *Workspace) Close() error {
+	if w.snap == nil {
+		return nil
+	}
+	s := w.snap
+	w.snap = nil
+	return s.Close()
 }
 
 // TailStats returns every user's q-quantile of one feature-week in
@@ -413,6 +483,26 @@ func (w *Workspace) Frontiers(f features.Feature, week int, attack []float64, sw
 func (w *Workspace) DaySorted(f features.Feature, week int) [][][]float64 {
 	key := fmt.Sprintf("daysorted/%d/%d", int(f), week)
 	v, _ := w.Memo(key, func() (any, error) {
+		if w.snap != nil {
+			// Day views ship pre-sorted in the snapshot: serve them
+			// as zero-copy views of the mapping, after the same
+			// malformed-writer scan ensureBlock runs on the sorted
+			// columns (the checksum only proves the bytes are what
+			// the writer produced, not that the writer was right).
+			out := make([][][]float64, w.users)
+			par.ForEach(w.users, 0, func(u int) {
+				days := w.snap.DayColumns(u, week, int(f))
+				for d, day := range days {
+					for i, v := range day {
+						if math.IsNaN(v) || (i > 0 && v < day[i-1]) {
+							panic(fmt.Sprintf("analysis: snapshot user %d %s week %d day %d: day view not sorted at %d", u, f, week, d, i))
+						}
+					}
+				}
+				out[u] = days
+			})
+			return out, nil
+		}
 		raw := w.Raw(f, week)
 		binsPerDay := w.binsPerWeek / 7
 		out := make([][][]float64, w.users)

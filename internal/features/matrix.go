@@ -66,6 +66,21 @@ func (m *Matrix) ColumnSlice(f Feature, lo, hi int) []float64 {
 	return out
 }
 
+// ColumnInto copies one feature's series over bins [lo, hi) into dst,
+// which must have length hi-lo — the allocation-free counterpart of
+// ColumnSlice used by the columnar workspace's slab-backed extraction.
+func (m *Matrix) ColumnInto(dst []float64, f Feature, lo, hi int) {
+	if lo < 0 || hi > len(m.Rows) || lo > hi {
+		panic(fmt.Sprintf("features: ColumnInto range [%d, %d) outside [0, %d)", lo, hi, len(m.Rows)))
+	}
+	if len(dst) != hi-lo {
+		panic(fmt.Sprintf("features: ColumnInto dst len %d != %d", len(dst), hi-lo))
+	}
+	for b := lo; b < hi; b++ {
+		dst[b-lo] = m.Rows[b][f]
+	}
+}
+
 // Distribution builds the empirical distribution of one feature over
 // bins [lo, hi) — the per-user P(g_i^j) of the paper.
 func (m *Matrix) Distribution(f Feature, lo, hi int) (*stats.Empirical, error) {

@@ -23,11 +23,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/collab"
 	"repro/internal/console"
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/netsim"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -54,6 +56,14 @@ type Config struct {
 	// re-synthesizing hundreds of millions of connections per run.
 	// The matrices are only read during the run.
 	Matrices []*features.Matrix
+	// SnapshotDir points at the on-disk workspace store. When set
+	// (and Matrices is nil) the run maps the population's matrices
+	// from a content-addressed snapshot instead of synthesizing them
+	// per agent — a warm thousand-agent soak skips generation
+	// entirely — and on a miss materializes the snapshot first,
+	// streamed in bounded shards. Stale or corrupt snapshots fall
+	// back to per-agent synthesis.
+	SnapshotDir string
 
 	// Policy is the enterprise configuration policy the console
 	// applies.
@@ -190,14 +200,55 @@ type Result struct {
 	FleetConfusion *stats.Confusion
 }
 
+// openFleetSnapshot maps the workspace snapshot of the run's
+// population, cold-building it (sharded) on a miss. Any failure —
+// unaddressable config, unwritable directory — returns nil and the
+// run falls back to per-agent synthesis; a snapshot is an
+// accelerator, never a correctness dependency.
+func openFleetSnapshot(cfg Config) *analysis.Workspace {
+	tcfg := trace.Config{
+		Users:       cfg.Users,
+		Weeks:       cfg.Weeks,
+		Seed:        cfg.Seed,
+		BinWidth:    cfg.BinWidth,
+		WeeklyTrend: cfg.WeeklyTrend,
+	}
+	key, err := snapshot.KeyFor(tcfg)
+	if err != nil {
+		return nil
+	}
+	pop, err := trace.NewPopulation(tcfg)
+	if err != nil {
+		return nil
+	}
+	ws, _, err := analysis.LoadOrMaterialize(cfg.SnapshotDir, key, 0,
+		func(u int, rows [][features.NumFeatures]float64) {
+			pop.Users[u].FillSeries(rows)
+		})
+	if err != nil {
+		return nil
+	}
+	return ws
+}
+
 // Run executes one fleet simulation to completion.
 func Run(cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	// Resolve the per-host matrices: pre-built, or synthesized lazily
-	// inside each agent's goroutine from the seeded population.
+	// Resolve the per-host matrices: pre-built, mapped from the
+	// snapshot store, or synthesized lazily inside each agent's
+	// goroutine from the seeded population.
+	if cfg.Matrices == nil && cfg.SnapshotDir != "" {
+		if ws := openFleetSnapshot(cfg); ws != nil {
+			// The mapped views live until every agent is done; Run's
+			// other defers (server close, agent closes) are declared
+			// later, so they unwind first.
+			defer ws.Close()
+			cfg.Matrices = ws.Matrices()
+		}
+	}
 	var matrixOf func(u int) *features.Matrix
 	var bpw int
 	var binWidth time.Duration

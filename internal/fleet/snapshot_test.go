@@ -1,0 +1,52 @@
+package fleet
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFleetSnapshotBackedRunMatches pins the snapshot-backed fleet
+// path to per-agent synthesis: the same Config must produce a
+// DeepEqual Result whether agents synthesize their matrices, the run
+// cold-builds the snapshot, or a second run warm-maps it.
+func TestFleetSnapshotBackedRunMatches(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{
+		Users: 12, Weeks: 2, Seed: 11,
+		Policy: core.Policy{
+			Heuristic: core.Percentile{Q: 0.99},
+			Grouping:  core.PartialDiversity{NumGroups: 3},
+		},
+	}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := base
+	snap.SnapshotDir = dir
+	cold, err := Run(snap) // miss: materializes the snapshot, then runs off it
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, want) {
+		t.Fatal("cold snapshot-backed fleet result diverges from synthesized run")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("cold run left %d files in the store, want 1", len(ents))
+	}
+	warm, err := Run(snap) // hit: generation skipped entirely
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, want) {
+		t.Fatal("warm snapshot-backed fleet result diverges from synthesized run")
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap falls back to reading the
+// whole file into memory. The views are then plain heap slices —
+// still safe, just not zero-copy; Close is a no-op release.
+func mapFile(path string, size int) (data []byte, unmap func() error, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

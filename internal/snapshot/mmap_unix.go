@@ -1,0 +1,26 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of path read-only and shared. The read-only
+// protection is part of the format's safety contract: every view the
+// analysis layer hands out from a snapshot is documented read-only,
+// and PROT_READ turns a contract violation into an immediate fault
+// instead of silent corruption of a file other processes share.
+func mapFile(path string, size int) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

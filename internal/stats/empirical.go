@@ -54,21 +54,36 @@ func NewEmpirical(samples []float64) (*Empirical, error) {
 // the call (the distribution would silently corrupt). The input is
 // verified to be sorted and NaN-free in one allocation-free pass.
 func NewEmpiricalFromSorted(sorted []float64) (*Empirical, error) {
+	e := &Empirical{}
+	if err := e.AdoptSorted(sorted); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// AdoptSorted initializes e in place to adopt an already-sorted slice,
+// under the same contract (and the same validation pass) as
+// NewEmpiricalFromSorted. It exists so bulk constructors can carve
+// thousands of distributions out of one []Empirical slab instead of
+// allocating each behind a pointer; e must not be shared with other
+// goroutines until the call returns.
+func (e *Empirical) AdoptSorted(sorted []float64) error {
 	if len(sorted) == 0 {
-		return nil, ErrNoSamples
+		return ErrNoSamples
 	}
 	if math.IsNaN(sorted[0]) {
-		return nil, fmt.Errorf("stats: sample 0 is NaN")
+		return fmt.Errorf("stats: sample 0 is NaN")
 	}
 	for i := 1; i < len(sorted); i++ {
 		if math.IsNaN(sorted[i]) {
-			return nil, fmt.Errorf("stats: sample %d is NaN", i)
+			return fmt.Errorf("stats: sample %d is NaN", i)
 		}
 		if sorted[i] < sorted[i-1] {
-			return nil, fmt.Errorf("stats: samples not sorted at index %d (%g < %g)", i, sorted[i], sorted[i-1])
+			return fmt.Errorf("stats: samples not sorted at index %d (%g < %g)", i, sorted[i], sorted[i-1])
 		}
 	}
-	return &Empirical{sorted: sorted}, nil
+	e.sorted = sorted
+	return nil
 }
 
 // MustEmpirical is NewEmpirical that panics on error; intended for

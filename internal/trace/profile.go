@@ -114,6 +114,12 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// Normalized returns the config with every default applied — the
+// exact parameter set generation runs under. The snapshot store keys
+// workspaces by the normalized config, so a partially specified
+// Config addresses the same snapshot as its fully defaulted form.
+func (c Config) Normalized() (Config, error) { return c.withDefaults() }
+
 // BinsPerWeek returns the number of aggregation windows in one week.
 func (c Config) BinsPerWeek() int {
 	return int((7 * 24 * time.Hour) / c.BinWidth)

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -326,13 +327,29 @@ func (u *User) BinCounts(bin int) features.Counts {
 // on a week-batched Generator, so per-week state, sampling scratch
 // and the Zipf rank table are computed once instead of per bin.
 func (u *User) Series() *features.Matrix {
-	m := features.NewMatrix(u.cfg.BinWidth, u.cfg.StartMicros, u.Bins())
+	return u.SeriesInto(make([][features.NumFeatures]float64, u.Bins()))
+}
+
+// SeriesInto is Series writing into caller-provided row storage (len
+// Bins()) — the arena path: bulk materialization carves all users'
+// rows from one slab (or a reused shard buffer) instead of one
+// allocation per user. The returned matrix adopts rows.
+func (u *User) SeriesInto(rows [][features.NumFeatures]float64) *features.Matrix {
+	u.FillSeries(rows)
+	return &features.Matrix{BinWidth: u.cfg.BinWidth, StartMicros: u.cfg.StartMicros, Rows: rows}
+}
+
+// FillSeries fills rows (len Bins()) with the user's full series via
+// the week-batched generator, without wrapping them in a Matrix.
+func (u *User) FillSeries(rows [][features.NumFeatures]float64) {
+	if len(rows) != u.Bins() {
+		panic(fmt.Sprintf("trace: FillSeries rows %d != bins %d", len(rows), u.Bins()))
+	}
 	g := u.NewGenerator()
 	for w := 0; w < u.cfg.Weeks; w++ {
 		lo, hi := u.WeekSlice(w)
-		g.GenerateWeek(w, m.Rows[lo:hi])
+		g.GenerateWeek(w, rows[lo:hi])
 	}
-	return m
 }
 
 // WeekSlice returns the half-open bin range [lo, hi) of the given

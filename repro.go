@@ -22,12 +22,15 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -46,6 +49,22 @@ type Options struct {
 	// WeeklyTrend overrides the population's weekly rate trend; zero
 	// keeps the calibrated default (see internal/trace).
 	WeeklyTrend float64
+	// SnapshotDir enables the on-disk workspace store: Materialize
+	// first tries to map an existing snapshot of this exact enterprise
+	// (content-addressed by seed, population, weeks, bin width and
+	// engine version) as a zero-copy workspace; on a miss it streams
+	// the population through sharded materialization into the
+	// directory and maps the result, so warm runs skip generation
+	// entirely and cold runs never hold the whole population in
+	// memory. Stale or corrupt files silently fall back to
+	// regeneration. Empty means the REPRO_SNAPSHOT_DIR environment
+	// variable, then (still empty) fully in-memory materialization.
+	SnapshotDir string
+	// SnapshotShard bounds how many users a cold sharded
+	// materialization holds in memory at once; <= 0 means
+	// analysis.DefaultShardUsers. Ignored without a snapshot
+	// directory.
+	SnapshotShard int
 }
 
 // Enterprise is a generated population together with its lazily
@@ -61,8 +80,14 @@ type Enterprise struct {
 	once     []sync.Once
 	matrices []*features.Matrix
 
+	snapDir   string
+	snapShard int
+
 	wsOnce sync.Once
-	ws     *analysis.Workspace
+	// ws is published atomically once materialization completes, so
+	// accessors that must not *trigger* a build (Matrix, Close) can
+	// still observe a finished one race-free.
+	ws atomic.Pointer[analysis.Workspace]
 }
 
 // NewEnterprise generates a deterministic enterprise from opts.
@@ -77,10 +102,16 @@ func NewEnterprise(opts Options) (*Enterprise, error) {
 	if err != nil {
 		return nil, err
 	}
+	dir := opts.SnapshotDir
+	if dir == "" {
+		dir = os.Getenv("REPRO_SNAPSHOT_DIR")
+	}
 	return &Enterprise{
-		Pop:      pop,
-		once:     make([]sync.Once, len(pop.Users)),
-		matrices: make([]*features.Matrix, len(pop.Users)),
+		Pop:       pop,
+		once:      make([]sync.Once, len(pop.Users)),
+		matrices:  make([]*features.Matrix, len(pop.Users)),
+		snapDir:   dir,
+		snapShard: opts.SnapshotShard,
 	}, nil
 }
 
@@ -88,9 +119,17 @@ func NewEnterprise(opts Options) (*Enterprise, error) {
 func (e *Enterprise) Users() int { return len(e.Pop.Users) }
 
 // Matrix returns user u's feature matrix, materializing it on first
-// use with the week-batched trace generator.
+// use with the week-batched trace generator. A fully materialized
+// enterprise already holds every matrix — snapshot-backed workspaces
+// serve zero-copy mapped views (read-only; Clone before mutating) —
+// so the per-user generator only runs when the workspace has not
+// been built yet.
 func (e *Enterprise) Matrix(u int) *features.Matrix {
 	e.once[u].Do(func() {
+		if ws := e.ws.Load(); ws != nil {
+			e.matrices[u] = ws.Matrices()[u]
+			return
+		}
 		e.matrices[u] = e.Pop.Users[u].Series()
 	})
 	return e.matrices[u]
@@ -101,18 +140,86 @@ func (e *Enterprise) Matrix(u int) *features.Matrix {
 // batch generation engine for its user and extracts + sorts the
 // user's feature-week columns while the rows are cache-hot.
 // Experiments call it up front so their own timings exclude
-// generation.
+// generation. With a snapshot directory configured (Options or
+// REPRO_SNAPSHOT_DIR) the workspace is instead mapped from — or, on a
+// miss, streamed shard by shard into — the on-disk store.
 func (e *Enterprise) Materialize() {
 	e.workspace()
+}
+
+// snapshotKey content-addresses this enterprise in the snapshot
+// store. Pop.Cfg is already normalized, so the key's defaulted fields
+// (start time, heavy fraction, trend) are exactly what generation ran
+// under.
+func (e *Enterprise) snapshotKey() (snapshot.Key, error) {
+	return snapshot.KeyFor(e.Pop.Cfg)
+}
+
+// SaveSnapshot persists the enterprise's materialized workspace to
+// the content-addressed store under dir and returns the sealed file's
+// path. A later enterprise with the same Options (and any other
+// process on the host) then maps it back via the snapshot path
+// instead of regenerating.
+func (e *Enterprise) SaveSnapshot(dir string) (string, error) {
+	key, err := e.snapshotKey()
+	if err != nil {
+		return "", err
+	}
+	return e.workspace().Save(dir, key)
+}
+
+// Close releases the enterprise's snapshot mapping when its workspace
+// was loaded from the on-disk store (no-op otherwise). The enterprise
+// must not be used afterwards — every view its workspace served is
+// invalid once the mapping is gone. Only needed by callers that churn
+// through many enterprises in one process (benchmarks, sweeps);
+// letting the process exit is equivalent.
+func (e *Enterprise) Close() error {
+	if ws := e.ws.Load(); ws != nil {
+		return ws.Close()
+	}
+	return nil
 }
 
 // workspace returns the enterprise's columnar analysis workspace,
 // building it (and all matrices) on first use.
 func (e *Enterprise) workspace() *analysis.Workspace {
 	e.wsOnce.Do(func() {
-		e.ws = analysis.NewGenerated(len(e.matrices), e.Matrix)
+		e.ws.Store(e.buildWorkspace())
 	})
-	return e.ws
+	return e.ws.Load()
+}
+
+func (e *Enterprise) buildWorkspace() *analysis.Workspace {
+	if e.snapDir != "" {
+		if key, err := e.snapshotKey(); err == nil {
+			// Warm: map the existing snapshot, skipping generation
+			// entirely. Cold (or stale/corrupt, which Load rejects):
+			// stream the population into the store in bounded shards
+			// and map the result. Any failure — unwritable directory,
+			// full disk, … — falls through to the in-memory build
+			// rather than failing the run.
+			ws, _, err := analysis.LoadOrMaterialize(e.snapDir, key, e.snapShard,
+				func(u int, rows [][features.NumFeatures]float64) {
+					e.Pop.Users[u].FillSeries(rows)
+				})
+			if err == nil {
+				return ws
+			}
+		}
+	}
+	// In-memory fused build. All users' rows live in one slab, so
+	// the parallel materialize loop costs one allocation for the
+	// whole population's matrices instead of one per user.
+	bins := e.Pop.Cfg.TotalBins()
+	slab := make([][features.NumFeatures]float64, len(e.matrices)*bins)
+	return analysis.NewGenerated(len(e.matrices), func(u int) *features.Matrix {
+		e.once[u].Do(func() {
+			rows := slab[u*bins : (u+1)*bins : (u+1)*bins]
+			e.matrices[u] = e.Pop.Users[u].SeriesInto(rows)
+		})
+		return e.matrices[u]
+	})
 }
 
 // TrainTest extracts every user's train-week and test-week series of
