@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak bench bench-check experiments snapshot-smoke
+.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke
 
 all: verify
 
@@ -29,6 +29,15 @@ verify: vet build race
 # the race detector. CI runs this as its own job.
 soak:
 	$(GO) test -race -run TestFleet ./internal/fleet -timeout 10m -v
+
+# chaos-soak runs the heavyweight fault-injection grid — fleet runs
+# under drop/reset/partition/crash plans, asserting bit-identical
+# convergence with the fault-free baseline (and deterministic degraded
+# results for permanent losses) — under the race detector. The quick
+# members of the fault suite run in every `make race`; these are the
+# -short-skipped chaos grids. CI runs this as its own job.
+chaos-soak:
+	$(GO) test -race -run TestChaos ./internal/fleet -timeout 15m -v
 
 # bench runs the per-experiment benchmarks — root package plus the
 # generation-path microbenches in internal/trace and internal/xrand —

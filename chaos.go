@@ -1,0 +1,200 @@
+package repro
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"repro/internal/collab"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/fleet"
+	"repro/internal/netsim"
+)
+
+// The "Fleet under faults" experiment: the distributed management
+// plane (internal/fleet) run under a grid of seeded fault plans. The
+// paper's architecture assumes the console hears from every host
+// (§4); this experiment quantifies what its detection pipeline does
+// when it doesn't — transient loss must change nothing at all (the
+// self-healing agents re-deliver every alert batch exactly once), and
+// permanent loss must shrink the quorum over the surviving
+// population rather than silently diluting it.
+
+// chaosHosts caps the chaos fleet: large enough that quorum detection
+// is meaningful, small enough that a grid of full fleet runs stays in
+// experiment territory rather than soak territory.
+const chaosHosts = 16
+
+// ChaosRow is one fault plan's outcome.
+type ChaosRow struct {
+	// Name describes the plan.
+	Name string
+	// Healing reports whether every fault window in the plan
+	// eventually heals; healing rows are required to converge.
+	Healing bool
+	// Converged reports whether the run's Result is deep-equal to the
+	// fault-free baseline (only meaningful on healing rows).
+	Converged bool
+	// Survivors, Lost and Partitioned are the run's casualty report.
+	Survivors   int
+	Lost        []int
+	Partitioned []int
+	// EffectiveQuorum is the absolute quorum collaborative detection
+	// used, resolved over the survivors.
+	EffectiveQuorum int
+	// TotalAlerts is the console's fleet-wide alert tally.
+	TotalAlerts int
+	// Events counts fleet-wide quorum events; FirstEvent is the first
+	// monitored window with one (-1 when none fired).
+	Events     int
+	FirstEvent int
+}
+
+// ChaosResult is the "Fleet under faults" table.
+type ChaosResult struct {
+	Hosts    int
+	Baseline ChaosRow
+	Rows     []ChaosRow
+}
+
+// Chaos runs the fleet simulator under a grid of fault plans — drop
+// and reset sweeps, partition windows, a whole-fleet reconnect storm,
+// and permanent losses in degraded mode — and scores each against the
+// fault-free baseline.
+func Chaos(e *Enterprise, cfg ExperimentConfig) (*ChaosResult, error) {
+	hosts := e.Users()
+	if hosts > chaosHosts {
+		hosts = chaosHosts
+	}
+	mats := make([]*features.Matrix, hosts)
+	for u := 0; u < hosts; u++ {
+		mats[u] = e.Matrix(u)
+	}
+	base := fleet.Config{
+		Users:     hosts,
+		Matrices:  mats,
+		Policy:    core.Policy{Heuristic: core.Percentile{Q: 0.99}, Grouping: core.FullDiversity{}},
+		TrainWeek: cfg.TrainWeek,
+		TestWeek:  cfg.TestWeek,
+		Attack: &fleet.AttackPlan{
+			Kind:    fleet.AttackStorm,
+			Feature: features.Distinct,
+			Seed:    cfg.Seed,
+		},
+		Collab: &collab.Config{Quorum: 3, QuorumFraction: 0.25},
+	}
+
+	baseline, err := fleet.Run(base)
+	if err != nil {
+		return nil, fmt.Errorf("chaos baseline: %w", err)
+	}
+	res := &ChaosResult{Hosts: hosts, Baseline: scoreChaos("baseline (no faults)", baseline, nil)}
+
+	quarter := make([]int, 0, hosts/4)
+	for h := 0; h < hosts/4; h++ {
+		quarter = append(quarter, h)
+	}
+	plans := []struct {
+		name string
+		plan netsim.FaultPlan
+	}{
+		{"drop 10% of writes (heals @4)", netsim.FaultPlan{Seed: cfg.Seed ^ 0x11, DropProb: 0.10, HealTick: 4}},
+		{"drop 25% of writes (heals @4)", netsim.FaultPlan{Seed: cfg.Seed ^ 0x12, DropProb: 0.25, HealTick: 4}},
+		{"drop 40% of writes (heals @4)", netsim.FaultPlan{Seed: cfg.Seed ^ 0x13, DropProb: 0.40, HealTick: 4}},
+		{"reset 20% of writes (heals @4)", netsim.FaultPlan{Seed: cfg.Seed ^ 0x14, ResetProb: 0.20, HealTick: 4}},
+		{"partition 1/4 of hosts for 1 tick", netsim.FaultPlan{
+			Seed: cfg.Seed ^ 0x15, Partitions: []netsim.Partition{{Hosts: quarter, From: 2, To: 3}}}},
+		{"partition 1/4 of hosts for 2 ticks", netsim.FaultPlan{
+			Seed: cfg.Seed ^ 0x16, Partitions: []netsim.Partition{{Hosts: quarter, From: 2, To: 4}}}},
+		{"reconnect storm (all hosts, 1 tick)", netsim.FaultPlan{
+			Seed: cfg.Seed ^ 0x17, Partitions: []netsim.Partition{{From: 2, To: 3}}}},
+		{"crash 1 host permanently", netsim.FaultPlan{
+			Seed: cfg.Seed ^ 0x18, Crashes: []netsim.CrashWindow{{Host: 2, From: 2, To: -1}}}},
+		{"crash 2 hosts + partition 1, permanent", netsim.FaultPlan{
+			Seed: cfg.Seed ^ 0x19,
+			Crashes: []netsim.CrashWindow{
+				{Host: 2, From: 2, To: -1},
+				{Host: 9, From: 3, To: -1},
+			},
+			Partitions: []netsim.Partition{{Hosts: []int{5}, From: 3, To: -1}}}},
+	}
+	for _, p := range plans {
+		run := base
+		run.Faults = &p.plan
+		run.AllowDegraded = !p.plan.Heals()
+		r, err := fleet.Run(run)
+		if err != nil {
+			return nil, fmt.Errorf("chaos %q: %w", p.name, err)
+		}
+		res.Rows = append(res.Rows, scoreChaos(p.name, r, baseline))
+	}
+	return res, nil
+}
+
+// scoreChaos reduces one run to its table row; baseline nil marks the
+// baseline itself.
+func scoreChaos(name string, r, baseline *fleet.Result) ChaosRow {
+	row := ChaosRow{
+		Name:            name,
+		Healing:         baseline == nil || (len(r.Lost) == 0 && len(r.Partitioned) == 0),
+		Survivors:       r.Survivors,
+		Lost:            r.Lost,
+		Partitioned:     r.Partitioned,
+		EffectiveQuorum: r.EffectiveQuorum,
+		TotalAlerts:     r.TotalAlerts,
+		FirstEvent:      -1,
+	}
+	for b, ev := range r.FleetEvents {
+		if ev {
+			row.Events++
+			if row.FirstEvent < 0 {
+				row.FirstEvent = b
+			}
+		}
+	}
+	if baseline != nil {
+		row.Converged = reflect.DeepEqual(r, baseline)
+	}
+	return row
+}
+
+// String renders the table.
+func (r *ChaosResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet under faults — %d hosts, Storm campaign on %s, quorum %d\n",
+		r.Hosts, features.Distinct, r.Baseline.EffectiveQuorum)
+	writeRow := func(row ChaosRow, baseline *ChaosRow) {
+		fmt.Fprintf(&b, "  %-38s", row.Name)
+		switch {
+		case baseline == nil:
+			fmt.Fprintf(&b, " --       ")
+		case row.Healing && row.Converged:
+			fmt.Fprintf(&b, " converged")
+		case row.Healing:
+			fmt.Fprintf(&b, " DIVERGED ")
+		default:
+			fmt.Fprintf(&b, " degraded ")
+		}
+		fmt.Fprintf(&b, "  survivors %2d, quorum %d, alerts %d, events %d",
+			row.Survivors, row.EffectiveQuorum, row.TotalAlerts, row.Events)
+		if row.FirstEvent >= 0 {
+			fmt.Fprintf(&b, ", first event bin %d", row.FirstEvent)
+			if baseline != nil && baseline.FirstEvent >= 0 {
+				fmt.Fprintf(&b, " (%+d)", row.FirstEvent-baseline.FirstEvent)
+			}
+		}
+		if len(row.Lost) > 0 {
+			fmt.Fprintf(&b, ", lost %v", row.Lost)
+		}
+		if len(row.Partitioned) > 0 {
+			fmt.Fprintf(&b, ", partitioned %v", row.Partitioned)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	writeRow(r.Baseline, nil)
+	for _, row := range r.Rows {
+		writeRow(row, &r.Baseline)
+	}
+	return b.String()
+}

@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/fleet"
 )
@@ -31,13 +32,18 @@ func main() {
 	hosts := flag.Int("hosts", 10, "number of hosts to wait for before configuring")
 	policy := flag.String("policy", "full", "grouping policy: homog, full, partialN")
 	heuristic := flag.String("heuristic", "p99", "threshold heuristic: p99, p999, utilityW, meanKsigma")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections silent for this long (0 = never)")
+	grace := flag.Duration("grace", 30*time.Second, "disconnect grace before a host counts as dead in the summary")
 	flag.Parse()
 
 	srv, err := fleet.ConsoleSpec{
-		Grouping:  *policy,
-		Heuristic: *heuristic,
-		Hosts:     *hosts,
-		Logf:      log.Printf,
+		Grouping:     *policy,
+		Heuristic:    *heuristic,
+		Hosts:        *hosts,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+		Logf:         log.Printf,
 	}.Build()
 	if err != nil {
 		log.Fatalf("consoled: %v", err)
@@ -59,5 +65,5 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		log.Printf("consoled: serve: %v", err)
 	}
-	fleet.WriteConsoleSummary(os.Stdout, srv)
+	fleet.WriteConsoleSummary(os.Stdout, srv, *grace)
 }

@@ -37,7 +37,8 @@ func main() {
 	users := flag.Int("users", 350, "end-host population size")
 	weeks := flag.Int("weeks", 2, "weeks of capture (>= 2)")
 	seed := flag.Uint64("seed", 1, "population seed")
-	run := flag.String("run", "all", "comma-separated experiment ids (fig1, fig2, table2, fig3a, fig3b, table3, fig4a, fig4b, fig5a, fig5b) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig1, fig2, table2, fig3a, fig3b, table3, fig4a, fig4b, fig5a, fig5b, chaos) or 'all'")
+	chaos := flag.Bool("chaos", false, "also run the fleet-under-faults grid (equivalent to adding 'chaos' to -run)")
 	binMinutes := flag.Int("bin", 15, "aggregation window in minutes (5 or 15 in the paper)")
 	snapshotDir := flag.String("snapshot", "", "workspace snapshot directory (warm runs skip generation; empty disables)")
 	shard := flag.Int("shard", 0, "users per shard when cold-building a snapshot (0 = default)")
@@ -50,6 +51,9 @@ func main() {
 	// profile files — run before os.Exit. log.Fatalf anywhere below
 	// would truncate the CPU profile/trace and skip the heap profile,
 	// exactly on the failing runs one most wants to profile.
+	if *chaos {
+		*run += ",chaos"
+	}
 	os.Exit(realMain(*users, *weeks, *seed, *run, *binMinutes, *snapshotDir, *shard, *cpuProfile, *memProfile, *traceFile))
 }
 
@@ -129,23 +133,28 @@ func realMain(users, weeks int, seed uint64, run string, binMinutes int, snapsho
 
 	type experiment struct {
 		id string
-		fn func() (fmt.Stringer, error)
+		// notInAll excludes the experiment from -run all: chaos is a
+		// robustness diagnostic of the management plane, not a paper
+		// artifact.
+		notInAll bool
+		fn       func() (fmt.Stringer, error)
 	}
 	exps := []experiment{
-		{"fig1", func() (fmt.Stringer, error) { return repro.Fig1(ent, cfg) }},
-		{"fig2", func() (fmt.Stringer, error) { return repro.Fig2(ent, cfg) }},
-		{"table2", func() (fmt.Stringer, error) { return repro.Table2(ent, cfg) }},
-		{"fig3a", func() (fmt.Stringer, error) { return repro.Fig3a(ent, cfg) }},
-		{"fig3b", func() (fmt.Stringer, error) { return repro.Fig3b(ent, cfg) }},
-		{"table3", func() (fmt.Stringer, error) { return repro.Table3(ent, cfg) }},
-		{"fig4a", func() (fmt.Stringer, error) { return repro.Fig4a(ent, cfg) }},
-		{"fig4b", func() (fmt.Stringer, error) { return repro.Fig4b(ent, cfg) }},
-		{"fig5a", func() (fmt.Stringer, error) { return repro.Fig5a(ent, cfg) }},
-		{"fig5b", func() (fmt.Stringer, error) { return repro.Fig5b(ent, cfg) }},
+		{id: "fig1", fn: func() (fmt.Stringer, error) { return repro.Fig1(ent, cfg) }},
+		{id: "fig2", fn: func() (fmt.Stringer, error) { return repro.Fig2(ent, cfg) }},
+		{id: "table2", fn: func() (fmt.Stringer, error) { return repro.Table2(ent, cfg) }},
+		{id: "fig3a", fn: func() (fmt.Stringer, error) { return repro.Fig3a(ent, cfg) }},
+		{id: "fig3b", fn: func() (fmt.Stringer, error) { return repro.Fig3b(ent, cfg) }},
+		{id: "table3", fn: func() (fmt.Stringer, error) { return repro.Table3(ent, cfg) }},
+		{id: "fig4a", fn: func() (fmt.Stringer, error) { return repro.Fig4a(ent, cfg) }},
+		{id: "fig4b", fn: func() (fmt.Stringer, error) { return repro.Fig4b(ent, cfg) }},
+		{id: "fig5a", fn: func() (fmt.Stringer, error) { return repro.Fig5a(ent, cfg) }},
+		{id: "fig5b", fn: func() (fmt.Stringer, error) { return repro.Fig5b(ent, cfg) }},
+		{id: "chaos", notInAll: true, fn: func() (fmt.Stringer, error) { return repro.Chaos(ent, cfg) }},
 	}
 	ran := 0
 	for _, ex := range exps {
-		if !all && !wanted[ex.id] {
+		if !wanted[ex.id] && (!all || ex.notInAll) {
 			continue
 		}
 		t0 := time.Now()

@@ -19,9 +19,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
+	"net"
 	"os"
 	"time"
 
@@ -46,6 +49,10 @@ func main() {
 	binMinutes := flag.Int("bin", 15, "aggregation window in minutes")
 	batchEvery := flag.Int("batch", 96, "flush alert batches every N windows")
 	snapDir := flag.String("snapshot", "", "workspace snapshot directory (warm agents map their matrix instead of generating)")
+	dialTimeout := flag.Duration("dial-timeout", console.DefaultDialTimeout, "bound on each TCP connection attempt")
+	backoff := flag.Duration("backoff", 0, "base redial backoff (0 = library default)")
+	backoffMax := flag.Duration("backoff-max", 0, "redial backoff cap (0 = library default)")
+	retries := flag.Int("retries", 0, "redial attempts per link loss (0 = library default, negative = unlimited)")
 	flag.Parse()
 
 	pop, err := trace.NewPopulation(trace.Config{
@@ -69,7 +76,22 @@ func main() {
 		log.Fatalf("hidsd: -train-bins %d outside (0, %d)", *trainBins, m.Bins())
 	}
 
-	agent, err := console.Dial(*consoleAddr, uint32(*userID), fmt.Sprintf("host-%d", *userID))
+	// Connect with a Dial closure so the agent self-heals: a console
+	// restart or network blip mid-run costs a redial (with backoff and
+	// seeded jitter), not the whole replay.
+	agent, err := console.Connect(console.AgentConfig{
+		HostID:   uint32(*userID),
+		Hostname: fmt.Sprintf("host-%d", *userID),
+		Dial: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", *consoleAddr, *dialTimeout)
+		},
+		Retry: console.RetryPolicy{
+			MaxDials:   *retries,
+			Backoff:    *backoff,
+			BackoffMax: *backoffMax,
+			Seed:       *seed,
+		},
+	})
 	if err != nil {
 		log.Fatalf("hidsd: %v", err)
 	}
@@ -133,14 +155,22 @@ func buildMatrix(tracePath, snapDir string, userID int, u *trace.User, pop *trac
 // the process lifetime, while the mapping is closed before returning.
 // Returns nil (load-only, no cold build — one agent must not
 // materialize a whole population) when the snapshot is absent, stale
-// or corrupt.
+// or corrupt; the log line distinguishes a cold store (expected, the
+// operator just has not run snapshots yet) from a damaged one (worth
+// investigating).
 func snapshotMatrix(dir string, userID int, pop *trace.Population) *features.Matrix {
 	key, err := snapshot.KeyFor(pop.Cfg)
 	if err != nil {
+		log.Printf("hidsd: snapshot key: %v", err)
 		return nil
 	}
 	ws, err := analysis.Load(dir, key)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			log.Printf("hidsd: snapshot store %s is cold for this config", dir)
+		} else {
+			log.Printf("hidsd: warning: snapshot load failed (stale or corrupt store): %v", err)
+		}
 		return nil
 	}
 	defer ws.Close()

@@ -129,6 +129,9 @@ func writeSnapshot(pop *trace.Population, dir string, shard int) {
 	}
 	start := time.Now()
 	ws, warm, err := analysis.LoadOrMaterialize(dir, key, shard,
+		func(stage string, werr error) {
+			log.Printf("tracegen: snapshot %s fallback: %v", stage, werr)
+		},
 		func(u int, rows [][features.NumFeatures]float64) {
 			pop.Users[u].FillSeries(rows)
 		})

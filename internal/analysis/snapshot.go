@@ -22,7 +22,9 @@ package analysis
 //     generator.
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"sort"
 	"sync"
 	"unsafe"
@@ -117,11 +119,25 @@ func Load(dir string, key snapshot.Key) (*Workspace, error) {
 // called), otherwise cold-build it with MaterializeSharded. Callers
 // own the failure policy — the enterprise and the fleet harness fall
 // back to in-memory materialization, tracegen reports the error.
-func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers int, generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
-	if ws, err := Load(dir, key); err == nil {
+//
+// warn, when non-nil, surfaces fallback events that were previously
+// silent: stage "load" fires when a snapshot file exists but could
+// not be mapped (stale engine/key, corrupt checksum, short file —
+// anything but plain absence), stage "materialize" when the
+// cold-build itself fails. Operators watching warn can tell a mystery
+// cold rebuild from a routine first run.
+func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers int, warn func(stage string, err error), generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
+	ws, lerr := Load(dir, key)
+	if lerr == nil {
 		return ws, true, nil
 	}
+	if warn != nil && !errors.Is(lerr, fs.ErrNotExist) {
+		warn("load", lerr)
+	}
 	ws, err = MaterializeSharded(dir, key, shardUsers, generate)
+	if err != nil && warn != nil {
+		warn("materialize", err)
+	}
 	return ws, false, err
 }
 

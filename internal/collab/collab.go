@@ -16,6 +16,7 @@ package collab
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/features"
 	"repro/internal/stats"
@@ -24,8 +25,16 @@ import (
 // Config parameterizes the collaborative detector.
 type Config struct {
 	// Quorum is the number of simultaneously alarming hosts that
-	// declares a fleet-wide event. Must be >= 1.
+	// declares a fleet-wide event. Must be >= 1 unless QuorumFraction
+	// is set.
 	Quorum int
+	// QuorumFraction, when positive, expresses quorum as a fraction of
+	// the participating population instead of an absolute count:
+	// ceil(fraction × hosts), never below 1 (nor below Quorum when both
+	// are set). A degraded fleet that lost agents re-derives a sane
+	// quorum from its surviving population this way, instead of
+	// demanding votes from the dead. Must be in (0, 1].
+	QuorumFraction float64
 	// SentinelWeight is the vote weight of sentinel hosts (>= 1;
 	// default 1 treats everyone equally).
 	SentinelWeight int
@@ -34,9 +43,31 @@ type Config struct {
 	Sentinels []int
 }
 
+// ResolveQuorum returns the effective absolute quorum for a
+// population of hosts: the larger of Quorum and
+// ceil(QuorumFraction × hosts), floored at 1.
+func (c Config) ResolveQuorum(hosts int) int {
+	q := c.Quorum
+	if c.QuorumFraction > 0 {
+		if fq := int(math.Ceil(c.QuorumFraction * float64(hosts))); fq > q {
+			q = fq
+		}
+	}
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
 func (c Config) withDefaults() (Config, error) {
-	if c.Quorum < 1 {
+	if c.QuorumFraction < 0 || c.QuorumFraction > 1 {
+		return c, fmt.Errorf("collab: quorum fraction must be in [0, 1], got %g", c.QuorumFraction)
+	}
+	if c.Quorum < 1 && c.QuorumFraction == 0 {
 		return c, fmt.Errorf("collab: quorum must be >= 1, got %d", c.Quorum)
+	}
+	if c.Quorum < 0 {
+		return c, fmt.Errorf("collab: quorum must not be negative, got %d", c.Quorum)
 	}
 	if c.SentinelWeight == 0 {
 		c.SentinelWeight = 1
@@ -101,9 +132,10 @@ func (d *Detector) Events(alarms [][]bool) ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
+	quorum := d.cfg.ResolveQuorum(len(alarms))
 	events := make([]bool, len(votes))
 	for b, v := range votes {
-		events[b] = v >= d.cfg.Quorum
+		events[b] = v >= quorum
 	}
 	return events, nil
 }

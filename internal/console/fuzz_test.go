@@ -2,11 +2,13 @@ package console
 
 import (
 	"bytes"
+	"encoding/json"
 	"net"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/xrand"
 )
 
@@ -61,6 +63,131 @@ func TestServerSurvivesGarbageConnections(t *testing.T) {
 	defer a.Close()
 	if err := a.UploadDistribution(0, []float64{1, 2, 3}); err != nil {
 		t.Fatalf("upload after garbage: %v", err)
+	}
+}
+
+// TestFrameStreamThroughFaults drives WriteMsg frames through a
+// seeded lossy transport: because WriteMsg emits each frame as one
+// write and a FaultConn delivers a strict prefix of the written
+// stream, the receiver must decode an exact prefix of the sent frame
+// sequence and then fail cleanly — never a torn or corrupted frame.
+func TestFrameStreamThroughFaults(t *testing.T) {
+	type frame struct {
+		typ  MsgType
+		body []byte
+	}
+	plans := []netsim.FaultPlan{
+		{Seed: 21, DropProb: 0.25},
+		{Seed: 22, ResetProb: 0.25},
+		{Seed: 23, DropProb: 0.15, ResetProb: 0.15},
+	}
+	for pi, plan := range plans {
+		mem := netsim.NewMemNetwork()
+		ln, err := mem.Listen("sink")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fnet, err := netsim.NewFaultNetwork(mem, plan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(uint64(500 + pi))
+		for trial := 0; trial < 20; trial++ {
+			// Accept concurrently: MemNetwork.Dial hands the server end
+			// over synchronously.
+			acceptCh := make(chan net.Conn, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err != nil {
+					c = nil
+				}
+				acceptCh <- c
+			}()
+			conn, err := fnet.Dial(0, "sink")
+			if err != nil {
+				t.Fatal(err)
+			}
+			peer := <-acceptCh
+			if peer == nil {
+				t.Fatal("accept failed")
+			}
+			recvCh := make(chan []frame, 1)
+			go func() {
+				var got []frame
+				for {
+					typ, body, err := ReadMsg(peer)
+					if err != nil {
+						recvCh <- got
+						return
+					}
+					got = append(got, frame{typ, body})
+				}
+			}()
+			var sent []frame
+			for w := 0; w < 30; w++ {
+				var (
+					typ     MsgType
+					payload any
+				)
+				switch rng.Intn(3) {
+				case 0:
+					typ = MsgPing
+					payload = Ping{HostID: uint32(rng.Intn(64))}
+				case 1:
+					typ = MsgAlertBatch
+					alerts := make([]Alert, rng.Intn(5))
+					for i := range alerts {
+						alerts[i] = Alert{Feature: rng.Intn(6), Bin: rng.Intn(100), Value: rng.Float64()}
+					}
+					payload = AlertBatch{HostID: 3, Seq: uint64(w + 1), Alerts: alerts}
+				default:
+					typ = MsgDistUpload
+					samples := make([]float64, 1+rng.Intn(20))
+					for i := range samples {
+						samples[i] = rng.Float64()
+					}
+					payload = DistUpload{HostID: 3, Feature: rng.Intn(6), Samples: samples}
+				}
+				body, err := json.Marshal(payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sent = append(sent, frame{typ, body})
+				if err := WriteMsg(conn, typ, payload); err != nil {
+					// The frame errored mid-transport; it may have been
+					// partially delivered, so it cannot count as sent
+					// in full — but a FaultConn reset only delivers a
+					// prefix, which ReadMsg rejects, so the receiver
+					// sees at most the frames before it.
+					sent = sent[:len(sent)-1]
+					break
+				}
+			}
+			_ = conn.Close()
+			got := <-recvCh
+			_ = peer.Close()
+			// A dropped write is swallowed whole (reported as sent), so
+			// the receiver may trail the sender — but only as an exact
+			// frame-sequence prefix.
+			if len(got) > len(sent)+1 {
+				t.Fatalf("plan %d trial %d: received %d frames, sent %d", pi, trial, len(got), len(sent))
+			}
+			for i, f := range got {
+				if i >= len(sent) {
+					// The last write errored after full delivery is
+					// impossible: resets deliver strict prefixes and
+					// ReadMsg cannot decode a torn frame. Anything here
+					// is a violation.
+					t.Fatalf("plan %d trial %d: received frame %d beyond the %d cleanly sent",
+						pi, trial, i, len(sent))
+				}
+				if f.typ != sent[i].typ || !bytes.Equal(f.body, sent[i].body) {
+					t.Fatalf("plan %d trial %d: frame %d differs from the frame sent (got %s, want %s)",
+						pi, trial, i, f.typ, sent[i].typ)
+				}
+			}
+		}
+		_ = ln.Close()
 	}
 }
 

@@ -50,6 +50,11 @@ const (
 	MsgAck
 	// MsgError reports a protocol-level failure.
 	MsgError
+	// MsgPing is a one-way agent keepalive: the console refreshes the
+	// host's liveness record and sends nothing back. Being one-way is
+	// load-bearing — acknowledged RPCs are serialized per connection,
+	// so a ping must never inject an ack into that FIFO stream.
+	MsgPing
 )
 
 // String names the message type.
@@ -67,6 +72,8 @@ func (t MsgType) String() string {
 		return "ack"
 	case MsgError:
 		return "error"
+	case MsgPing:
+		return "ping"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -83,6 +90,12 @@ type Hello struct {
 	HostID uint32 `json:"host_id"`
 	// Hostname is informational.
 	Hostname string `json:"hostname,omitempty"`
+	// Resume marks a self-healing redial by an agent incarnation that
+	// already held a connection: its alert-batch sequence numbers
+	// continue the old stream, so the console keeps the host's dedup
+	// watermark. A fresh hello (Resume false) restarts the stream and
+	// resets the watermark — a restarted agent process begins at 1.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // DistUpload is one feature's training distribution. Samples are the
@@ -94,6 +107,14 @@ type DistUpload struct {
 	HostID  uint32    `json:"host_id"`
 	Feature int       `json:"feature"`
 	Samples []float64 `json:"samples"`
+	// Epoch is the configuration epoch this upload targets: the epoch
+	// the host expects its thresholds to carry. The console stores
+	// uploads for the current open epoch, opens epoch e+1 when a host
+	// that saw epoch e's thresholds re-uploads (weekly re-learning),
+	// and idempotently acknowledges-and-drops stale epochs — which is
+	// what makes a reconnecting agent's re-sent upload harmless
+	// instead of wiping the fleet's training state.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // Thresholds is the console's configuration push: one threshold per
@@ -126,12 +147,23 @@ type Alert struct {
 type AlertBatch struct {
 	HostID uint32  `json:"host_id"`
 	Alerts []Alert `json:"alerts"`
+	// Seq is the agent-assigned batch sequence number, starting at 1
+	// and stable across re-sends of the same batch; the console drops
+	// (but still acknowledges) a sequence it has already tallied, so a
+	// batch whose ack was lost in transit is never double-counted.
+	// Zero means unsequenced (legacy senders) and always passes.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Ack acknowledges receipt; Seq echoes the sender's sequence number
 // when one was supplied.
 type Ack struct {
 	Seq uint64 `json:"seq,omitempty"`
+}
+
+// Ping is the one-way keepalive payload.
+type Ping struct {
+	HostID uint32 `json:"host_id"`
 }
 
 // ProtoError is a protocol-level error report.
@@ -148,14 +180,15 @@ func WriteMsg(w io.Writer, t MsgType, payload any) error {
 	if len(body) > MaxFrame {
 		return fmt.Errorf("console: %s payload %d exceeds MaxFrame", t, len(body))
 	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
-	hdr[4] = byte(t)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("console: writing %s header: %w", t, err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("console: writing %s body: %w", t, err)
+	// One frame, one write: a fault-injected transport (and a real
+	// kernel's send path) then fails or delivers the frame as a unit,
+	// never a header without its body.
+	frame := make([]byte, 5+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	frame[4] = byte(t)
+	copy(frame[5:], body)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("console: writing %s frame: %w", t, err)
 	}
 	return nil
 }

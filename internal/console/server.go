@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -27,6 +28,15 @@ type ServerConfig struct {
 	AttackMagnitudes []float64
 	// Logf, if set, receives operational log lines (default: silent).
 	Logf func(format string, args ...any)
+	// WriteTimeout, when positive, is applied as a write deadline to
+	// every outbound frame so one wedged agent cannot block the
+	// console's push loop (default: none).
+	WriteTimeout time.Duration
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// silent between inbound frames (including before hello) before it
+	// is dropped. Default: none — agents with nothing to report between
+	// flush rounds stay connected indefinitely unless they Ping.
+	IdleTimeout time.Duration
 }
 
 // Server is the central IT operation console: it collects training
@@ -44,6 +54,8 @@ type Server struct {
 	pushed      bool
 	alertTally  map[uint32]int
 	alertLog    []AlertBatch
+	alertSeq    map[uint32]uint64
+	liveness    map[uint32]*HostLiveness
 	assignment  map[features.Feature]*core.Assignment
 	hostOrder   []uint32
 
@@ -53,15 +65,34 @@ type Server struct {
 }
 
 type serverConn struct {
-	hostID uint32
-	conn   net.Conn
-	wmu    sync.Mutex
+	hostID       uint32
+	conn         net.Conn
+	wmu          sync.Mutex
+	writeTimeout time.Duration
 }
 
 func (c *serverConn) send(t MsgType, payload any) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+		defer func() { _ = c.conn.SetWriteDeadline(time.Time{}) }()
+	}
 	return WriteMsg(c.conn, t, payload)
+}
+
+// HostLiveness is the console's per-agent connectivity record.
+type HostLiveness struct {
+	// Connected reports whether the host currently holds a registered
+	// connection.
+	Connected bool
+	// Connects and Disconnects count registration events; a self-healing
+	// agent that rode out a partition shows Connects > 1.
+	Connects    int
+	Disconnects int
+	// LastSeen is the wall-clock time of the last inbound frame (or
+	// disconnect) from the host.
+	LastSeen time.Time
 }
 
 // NewServer creates a console server.
@@ -81,6 +112,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		dists:      make(map[uint32]*[features.NumFeatures][]float64),
 		complete:   make(map[uint32]bool),
 		alertTally: make(map[uint32]int),
+		alertSeq:   make(map[uint32]uint64),
+		liveness:   make(map[uint32]*HostLiveness),
 	}, nil
 }
 
@@ -111,10 +144,19 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// readDeadline arms conn's read deadline from IdleTimeout (a no-op
+// when none is configured) so a silent peer eventually times out.
+func (s *Server) readDeadline(conn net.Conn) {
+	if s.cfg.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+}
+
 // handle runs one agent connection to completion.
 func (s *Server) handle(conn net.Conn) error {
 	defer conn.Close()
 
+	s.readDeadline(conn)
 	t, body, err := ReadMsg(conn)
 	if err != nil {
 		return err
@@ -127,8 +169,8 @@ func (s *Server) handle(conn net.Conn) error {
 	if err := decode(t, body, &hello); err != nil {
 		return err
 	}
-	sc := &serverConn{hostID: hello.HostID, conn: conn}
-	if err := s.register(sc); err != nil {
+	sc := &serverConn{hostID: hello.HostID, conn: conn, writeTimeout: s.cfg.WriteTimeout}
+	if err := s.register(sc, hello.Resume); err != nil {
 		_ = WriteMsg(conn, MsgError, ProtoError{Message: "duplicate host id"})
 		return err
 	}
@@ -138,6 +180,10 @@ func (s *Server) handle(conn net.Conn) error {
 		s.mu.Lock()
 		if s.conns[hello.HostID] == sc {
 			delete(s.conns, hello.HostID)
+			lv := s.livenessLocked(hello.HostID)
+			lv.Connected = false
+			lv.Disconnects++
+			lv.LastSeen = time.Now()
 		}
 		s.mu.Unlock()
 	}()
@@ -156,6 +202,7 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 
 	for {
+		s.readDeadline(conn)
 		t, body, err := ReadMsg(conn)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
@@ -163,6 +210,7 @@ func (s *Server) handle(conn net.Conn) error {
 			}
 			return err
 		}
+		s.touch(hello.HostID)
 		switch t {
 		case MsgDistUpload:
 			var up DistUpload
@@ -183,12 +231,28 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			s.mu.Lock()
-			s.alertTally[ab.HostID] += len(ab.Alerts)
-			s.alertLog = append(s.alertLog, ab)
+			// A sequenced batch the console already tallied is a re-send
+			// whose ack was lost in transit: acknowledge again, count
+			// nothing. Seq 0 (unsequenced legacy senders) always counts.
+			dup := ab.Seq != 0 && ab.Seq <= s.alertSeq[ab.HostID]
+			if !dup {
+				if ab.Seq != 0 {
+					s.alertSeq[ab.HostID] = ab.Seq
+				}
+				s.alertTally[ab.HostID] += len(ab.Alerts)
+				s.alertLog = append(s.alertLog, ab)
+			}
 			s.mu.Unlock()
-			if err := sc.send(MsgAck, Ack{}); err != nil {
+			if dup {
+				s.cfg.Logf("console: host %d re-sent alert batch seq %d; dropped", ab.HostID, ab.Seq)
+			}
+			if err := sc.send(MsgAck, Ack{Seq: ab.Seq}); err != nil {
 				return err
 			}
+		case MsgPing:
+			// One-way keepalive: liveness was touched above; no reply, so
+			// the per-connection ack FIFO the agent's rpc path relies on
+			// is not perturbed.
 		default:
 			_ = sc.send(MsgError, ProtoError{Message: "unexpected " + t.String()})
 			return fmt.Errorf("unexpected message %s from host %d", t, hello.HostID)
@@ -200,8 +264,10 @@ func (s *Server) handle(conn net.Conn) error {
 // can arrive before the handler of its previous (closed) connection
 // has observed EOF and cleaned up, so an occupied slot is retried
 // briefly; only a slot still held after the grace period is a genuine
-// concurrent duplicate and rejected.
-func (s *Server) register(sc *serverConn) error {
+// concurrent duplicate and rejected. resume preserves the host's
+// alert-sequence watermark (a self-healing redial continues the old
+// sequence stream); a fresh hello resets it.
+func (s *Server) register(sc *serverConn, resume bool) error {
 	deadline := time.Now().Add(500 * time.Millisecond)
 	for {
 		s.mu.Lock()
@@ -211,6 +277,13 @@ func (s *Server) register(sc *serverConn) error {
 				s.dists[sc.hostID] = &[features.NumFeatures][]float64{}
 				s.hostOrder = append(s.hostOrder, sc.hostID)
 			}
+			if !resume {
+				delete(s.alertSeq, sc.hostID)
+			}
+			lv := s.livenessLocked(sc.hostID)
+			lv.Connected = true
+			lv.Connects++
+			lv.LastSeen = time.Now()
 			s.mu.Unlock()
 			return nil
 		}
@@ -220,6 +293,24 @@ func (s *Server) register(sc *serverConn) error {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+}
+
+// livenessLocked returns (creating if needed) the liveness record for
+// one host. Callers hold s.mu.
+func (s *Server) livenessLocked(hostID uint32) *HostLiveness {
+	lv := s.liveness[hostID]
+	if lv == nil {
+		lv = &HostLiveness{}
+		s.liveness[hostID] = lv
+	}
+	return lv
+}
+
+// touch refreshes one host's liveness timestamp on any inbound frame.
+func (s *Server) touch(hostID uint32) {
+	s.mu.Lock()
+	s.livenessLocked(hostID).LastSeen = time.Now()
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptUpload(sc *serverConn, up DistUpload) error {
@@ -235,10 +326,22 @@ func (s *Server) acceptUpload(sc *serverConn, up DistUpload) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.pushed {
-		// A new round of uploads opens the next configuration epoch:
-		// the paper re-learns thresholds every week from the fresh
-		// training window (§6.1).
+	// Epoch guard. An upload targets the epoch the sender expects its
+	// next thresholds to carry, which makes reconnect retries safe:
+	// only the first upload of a genuinely new learning round (epoch
+	// e+1 after epoch e's push) rolls the console forward; a re-sent
+	// upload for an epoch that has already been configured is
+	// acknowledged and dropped instead of wiping the fleet's state.
+	switch {
+	case up.Epoch > s.epoch+1 || (up.Epoch == s.epoch+1 && !s.pushed):
+		return fmt.Errorf("upload for epoch %d ahead of console epoch %d", up.Epoch, s.epoch)
+	case up.Epoch < s.epoch || (up.Epoch == s.epoch && s.pushed):
+		s.cfg.Logf("console: host %d re-sent epoch %d upload (console at %d); dropped",
+			sc.hostID, up.Epoch, s.epoch)
+		return nil
+	case up.Epoch == s.epoch+1:
+		// First upload of the next learning round: the paper re-learns
+		// thresholds every week from the fresh training window (§6.1).
 		s.pushed = false
 		s.epoch++
 		for id := range s.dists {
@@ -407,6 +510,35 @@ func (s *Server) Alerts() []AlertBatch {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]AlertBatch(nil), s.alertLog...)
+}
+
+// Liveness returns a copy of the per-host connectivity records.
+func (s *Server) Liveness() map[uint32]HostLiveness {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint32]HostLiveness, len(s.liveness))
+	for id, lv := range s.liveness {
+		out[id] = *lv
+	}
+	return out
+}
+
+// DeadHosts returns the hosts that once connected but have now been
+// disconnected for longer than grace, sorted ascending. This is the
+// console's degraded-mode signal: quorum should be computed over the
+// population minus these hosts.
+func (s *Server) DeadHosts(grace time.Duration) []uint32 {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dead []uint32
+	for id, lv := range s.liveness {
+		if !lv.Connected && now.Sub(lv.LastSeen) > grace {
+			dead = append(dead, id)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	return dead
 }
 
 // ActiveConns returns the number of currently registered agent

@@ -50,7 +50,7 @@ func (c *Clock) Step() error {
 	}
 	t := c.tick
 	c.arrived++
-	if c.arrived == c.n {
+	if c.arrived >= c.n { // >= : Leave may shrink n mid-round
 		c.arrived = 0
 		c.tick++
 		c.cond.Broadcast()
@@ -63,6 +63,25 @@ func (c *Clock) Step() error {
 		return ErrClockCancelled
 	}
 	return nil
+}
+
+// Leave permanently removes one participant from the barrier — the
+// degraded-mode exit for an agent that is permanently lost. The
+// survivors keep ticking over a smaller population instead of
+// deadlocking on a Step that will never come; if the departure
+// completes the current round, the tick advances immediately.
+func (c *Clock) Leave() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancelled || c.n == 0 {
+		return
+	}
+	c.n--
+	if c.n > 0 && c.arrived >= c.n {
+		c.arrived = 0
+		c.tick++
+	}
+	c.cond.Broadcast()
 }
 
 // Cancel aborts the clock: every current and future Step returns

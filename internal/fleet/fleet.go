@@ -20,6 +20,8 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -98,6 +100,28 @@ type Config struct {
 	ThresholdTimeout time.Duration
 	// Logf receives console log lines (default silent).
 	Logf func(format string, args ...any)
+
+	// Faults, when set, wraps the in-memory transport in a seeded
+	// chaos layer (netsim.FaultNetwork) driven by the fleet clock:
+	// drops, delays, resets, partitions and crash windows fire on the
+	// plan's schedule, and agents self-heal through them. Healing
+	// windows (To >= 0) must start at tick 1 or later — tick 0 covers
+	// connect, upload and the threshold push, which a valid run needs
+	// exactly once. Windows opening at or before tick 0 must be
+	// permanent (To < 0): those hosts are dead from the start and
+	// excluded from the run. Nil runs on the perfect network,
+	// byte-identical to pre-fault behavior.
+	Faults *netsim.FaultPlan
+	// Retry overrides the agents' self-healing budget; the zero value
+	// picks fault-run defaults (unlimited redials with microsecond
+	// backoffs — the fault plan, not wall time, decides who stays
+	// down). Ignored without Faults.
+	Retry console.RetryPolicy
+	// AllowDegraded accepts fault plans with permanent losses: the
+	// fleet finishes over its survivors (failing agents leave the
+	// clock's barrier instead of cancelling it) and the Result records
+	// who was lost. Required when Faults does not heal.
+	AllowDegraded bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -147,6 +171,24 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Attack.active() {
 		c.Watch = c.Attack.Feature
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return c, fmt.Errorf("fleet: %w", err)
+		}
+		for _, w := range c.Faults.Partitions {
+			if w.To >= 0 && w.From < 1 {
+				return c, fmt.Errorf("fleet: healing partition [%d, %d) must start at tick >= 1 (tick 0 covers connect/upload/push)", w.From, w.To)
+			}
+		}
+		for _, w := range c.Faults.Crashes {
+			if w.To >= 0 && w.From < 1 {
+				return c, fmt.Errorf("fleet: healing crash window [%d, %d) of host %d must start at tick >= 1 (tick 0 covers connect/upload/push)", w.From, w.To, w.Host)
+			}
+		}
+		if !c.Faults.Heals() && !c.AllowDegraded {
+			return c, fmt.Errorf("fleet: fault plan has permanent losses; set AllowDegraded")
+		}
 	}
 	return c, nil
 }
@@ -198,14 +240,47 @@ type Result struct {
 	FleetVotes     []int
 	FleetEvents    []bool
 	FleetConfusion *stats.Confusion
+
+	// Survivors counts the hosts that completed the run. On a healthy
+	// or fully-healing run it equals Users, and the degraded fields
+	// below are nil/zero — which is exactly what lets the convergence
+	// suite DeepEqual a healing fault run against its fault-free twin.
+	Survivors int
+	// Lost lists hosts that never finished: dead from the start, or
+	// crashed permanently mid-run (sorted; nil when none).
+	Lost []int
+	// Partitioned lists hosts that never finished because a permanent
+	// network partition cut them off (sorted; nil when none).
+	Partitioned []int
+	// Lagging lists survivors whose final thresholds trail the
+	// console's epoch (sorted; nil when none).
+	Lagging []int
+	// EffectiveQuorum is the absolute quorum collaborative detection
+	// actually used, resolved over the surviving population (zero
+	// without a Collab config).
+	EffectiveQuorum int
+	// SnapshotFallbacks counts snapshot-store fallback events (stale,
+	// corrupt or unwritable store) during this run; 0 on warm or
+	// storeless runs.
+	SnapshotFallbacks int
 }
 
 // openFleetSnapshot maps the workspace snapshot of the run's
 // population, cold-building it (sharded) on a miss. Any failure —
 // unaddressable config, unwritable directory — returns nil and the
 // run falls back to per-agent synthesis; a snapshot is an
-// accelerator, never a correctness dependency.
-func openFleetSnapshot(cfg Config) *analysis.Workspace {
+// accelerator, never a correctness dependency. Fallback events are
+// logged and counted so Result.SnapshotFallbacks surfaces them.
+func openFleetSnapshot(cfg Config) (*analysis.Workspace, int) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	fallbacks := 0
+	warn := func(stage string, err error) {
+		fallbacks++
+		logf("fleet: snapshot %s fallback (%s): %v", stage, cfg.SnapshotDir, err)
+	}
 	tcfg := trace.Config{
 		Users:       cfg.Users,
 		Weeks:       cfg.Weeks,
@@ -215,20 +290,21 @@ func openFleetSnapshot(cfg Config) *analysis.Workspace {
 	}
 	key, err := snapshot.KeyFor(tcfg)
 	if err != nil {
-		return nil
+		warn("key", err)
+		return nil, fallbacks
 	}
 	pop, err := trace.NewPopulation(tcfg)
 	if err != nil {
-		return nil
+		return nil, fallbacks
 	}
-	ws, _, err := analysis.LoadOrMaterialize(cfg.SnapshotDir, key, 0,
+	ws, _, err := analysis.LoadOrMaterialize(cfg.SnapshotDir, key, 0, warn,
 		func(u int, rows [][features.NumFeatures]float64) {
 			pop.Users[u].FillSeries(rows)
 		})
 	if err != nil {
-		return nil
+		return nil, fallbacks
 	}
-	return ws
+	return ws, fallbacks
 }
 
 // Run executes one fleet simulation to completion.
@@ -240,8 +316,11 @@ func Run(cfg Config) (*Result, error) {
 	// Resolve the per-host matrices: pre-built, mapped from the
 	// snapshot store, or synthesized lazily inside each agent's
 	// goroutine from the seeded population.
+	snapshotFallbacks := 0
 	if cfg.Matrices == nil && cfg.SnapshotDir != "" {
-		if ws := openFleetSnapshot(cfg); ws != nil {
+		ws, fallbacks := openFleetSnapshot(cfg)
+		snapshotFallbacks = fallbacks
+		if ws != nil {
 			// The mapped views live until every agent is done; Run's
 			// other defers (server close, agent closes) are declared
 			// later, so they unwind first.
@@ -291,16 +370,45 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Classify the fault plan's planned losses up front. A permanent
+	// window open at or before tick 0 means the host is dead from the
+	// start: it never connects, never uploads, and the console's
+	// expected population excludes it. Mid-run permanent losses (From
+	// >= 1) participate normally until their window opens.
+	deadFromStart := make(map[int]bool)
+	if cfg.Faults != nil {
+		for u := 0; u < cfg.Users; u++ {
+			if from, _, ok := cfg.Faults.PermanentLoss(u); ok && from <= 0 {
+				deadFromStart[u] = true
+			}
+		}
+	}
+	participants := cfg.Users - len(deadFromStart)
+	if participants <= 0 {
+		return nil, fmt.Errorf("fleet: fault plan kills all %d hosts at tick 0", cfg.Users)
+	}
+
 	srv, err := console.NewServer(console.ServerConfig{
 		Policy:           cfg.Policy,
-		ExpectedHosts:    cfg.Users,
+		ExpectedHosts:    participants,
 		AttackMagnitudes: cfg.AttackMagnitudes,
 		Logf:             cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
 	}
+
+	// The clock exists before any connection so it can drive the fault
+	// layer: logical ticks (completed flush rounds) are the time base
+	// partitions and crash windows fire on.
+	clock := NewClock(participants)
 	network := netsim.NewMemNetwork()
+	var fnet *netsim.FaultNetwork
+	if cfg.Faults != nil {
+		if fnet, err = netsim.NewFaultNetwork(network, *cfg.Faults, clock); err != nil {
+			return nil, err
+		}
+	}
 	ln, err := network.Listen("console")
 	if err != nil {
 		return nil, err
@@ -312,10 +420,29 @@ func Run(cfg Config) (*Result, error) {
 		<-serveDone
 	}()
 
+	// Under faults the agents need a redial path and a retry budget.
+	// The defaults make healing a function of the fault plan alone:
+	// unlimited redials, microsecond backoffs (wall time is noise
+	// here — the logical clock is what gates a partition's heal), and
+	// a short link wait so a flush into a dead partition fails fast
+	// and spools instead of stalling the barrier.
+	retry := cfg.Retry
+	if cfg.Faults != nil && retry == (console.RetryPolicy{}) {
+		retry = console.RetryPolicy{
+			MaxDials:     -1,
+			MaxOpRetries: 32,
+			Backoff:      200 * time.Microsecond,
+			BackoffMax:   2 * time.Millisecond,
+			LinkWait:     5 * time.Millisecond,
+			Seed:         cfg.Faults.Seed ^ 0xa5a5a5a5deadbeef,
+		}
+	}
+
 	// Connect agents sequentially in user order. The console assigns
 	// thresholds by first-seen host order, so connection order is part
 	// of the deterministic contract — racing the dials here would make
-	// partial-diversity group membership scheduler-dependent.
+	// partial-diversity group membership scheduler-dependent. Hosts
+	// dead from the start are skipped entirely.
 	agents := make([]*console.Agent, cfg.Users)
 	defer func() {
 		for _, a := range agents {
@@ -325,11 +452,24 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}()
 	for u := 0; u < cfg.Users; u++ {
-		conn, err := network.Dial("console")
-		if err != nil {
-			return nil, err
+		if deadFromStart[u] {
+			continue
 		}
-		if agents[u], err = console.NewAgent(conn, uint32(u), fmt.Sprintf("host-%d", u)); err != nil {
+		if fnet != nil {
+			agents[u], err = console.Connect(console.AgentConfig{
+				HostID:   uint32(u),
+				Hostname: fmt.Sprintf("host-%d", u),
+				Dial:     fnet.Dialer(u, "console"),
+				Retry:    retry,
+			})
+		} else {
+			var conn net.Conn
+			if conn, err = network.Dial("console"); err != nil {
+				return nil, err
+			}
+			agents[u], err = console.NewAgent(conn, uint32(u), fmt.Sprintf("host-%d", u))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("fleet: connecting host %d: %w", u, err)
 		}
 	}
@@ -338,11 +478,13 @@ func Run(cfg Config) (*Result, error) {
 	// synchronized on the logical clock (one tick per flush).
 	trainLo, trainHi := cfg.TrainWeek*bpw, (cfg.TrainWeek+1)*bpw
 	testLo, testHi := cfg.TestWeek*bpw, (cfg.TestWeek+1)*bpw
-	clock := NewClock(cfg.Users)
 	reports := make([]*AgentReport, cfg.Users)
 	errs := make([]error, cfg.Users)
 	var wg sync.WaitGroup
 	for u := 0; u < cfg.Users; u++ {
+		if agents[u] == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(u int) {
 			defer wg.Done()
@@ -374,30 +516,95 @@ func Run(cfg Config) (*Result, error) {
 				OverlayFn:        overlayFn,
 				OverlayFeature:   cfg.Attack.featureOrTCP(),
 				Clock:            clock,
+				SpoolFlushes:     cfg.Faults != nil,
+				LeaveOnError:     cfg.AllowDegraded,
+				Logf:             cfg.Logf,
 			})
 		}(u)
 	}
 	wg.Wait()
-	// A single failing agent cancels the clock, so most agents finish
-	// with ErrClockCancelled — report the root cause, not the cascade.
-	cancelled := -1
-	for u, err := range errs {
-		if err == nil {
-			continue
-		}
-		if errors.Is(err, ErrClockCancelled) {
-			if cancelled < 0 {
-				cancelled = u
+
+	deg := degraded{survivors: participants}
+	if cfg.AllowDegraded {
+		// Degraded mode: a failing agent left the barrier instead of
+		// cancelling it, so the rest finished. Classify each casualty
+		// by what the fault plan says happened to it.
+		for u, runErr := range errs {
+			switch {
+			case agents[u] == nil:
+				// Dead from the start — already excluded from the
+				// participant count, only the classification is added.
+				_, byPartition, _ := cfg.Faults.PermanentLoss(u)
+				deg.add(u, byPartition)
+			case runErr == nil:
+				continue
+			case errors.Is(runErr, ErrClockCancelled):
+				return nil, fmt.Errorf("fleet: host %d: %w", u, runErr)
+			default:
+				deg.survivors--
+				_, byPartition, planned := cfg.Faults.PermanentLoss(u)
+				deg.add(u, planned && byPartition)
+				if cfg.Logf != nil {
+					cfg.Logf("fleet: host %d lost: %v", u, runErr)
+				}
 			}
-			continue
 		}
-		return nil, fmt.Errorf("fleet: host %d: %w", u, err)
-	}
-	if cancelled >= 0 {
-		return nil, fmt.Errorf("fleet: host %d: %w", cancelled, ErrClockCancelled)
+		if deg.survivors <= 0 {
+			return nil, fmt.Errorf("fleet: no host survived the run")
+		}
+	} else {
+		// A single failing agent cancels the clock, so most agents
+		// finish with ErrClockCancelled — report the root cause, not
+		// the cascade.
+		cancelled := -1
+		for u, err := range errs {
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, ErrClockCancelled) {
+				if cancelled < 0 {
+					cancelled = u
+				}
+				continue
+			}
+			return nil, fmt.Errorf("fleet: host %d: %w", u, err)
+		}
+		if cancelled >= 0 {
+			return nil, fmt.Errorf("fleet: host %d: %w", cancelled, ErrClockCancelled)
+		}
 	}
 
-	return buildResult(cfg, srv, reports, storm, testLo, testHi)
+	res, err := buildResult(cfg, srv, reports, storm, testLo, testHi, deg)
+	if err != nil {
+		return nil, err
+	}
+	res.SnapshotFallbacks = snapshotFallbacks
+	return res, nil
+}
+
+// degraded accumulates the run's casualty accounting.
+type degraded struct {
+	survivors   int
+	lost        []int
+	partitioned []int
+}
+
+func (d *degraded) add(u int, byPartition bool) {
+	if byPartition {
+		d.partitioned = append(d.partitioned, u)
+	} else {
+		d.lost = append(d.lost, u)
+	}
+}
+
+// sortedOrNil sorts s ascending, returning nil for an empty slice so
+// Result comparisons treat "no casualties" one way only.
+func sortedOrNil(s []int) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	sort.Ints(s)
+	return s
 }
 
 // featureOrTCP returns the attacked feature, or TCP for a nil plan
@@ -411,7 +618,7 @@ func (p *AttackPlan) featureOrTCP() features.Feature {
 
 // buildResult assembles the deterministic Result from the console's
 // state and the per-agent reports.
-func buildResult(cfg Config, srv *console.Server, reports []*AgentReport, storm []float64, testLo, testHi int) (*Result, error) {
+func buildResult(cfg Config, srv *console.Server, reports []*AgentReport, storm []float64, testLo, testHi int, deg degraded) (*Result, error) {
 	res := &Result{
 		Policy:       cfg.Policy.Name(),
 		Users:        cfg.Users,
@@ -421,12 +628,27 @@ func buildResult(cfg Config, srv *console.Server, reports []*AgentReport, storm 
 		Thresholds:   make([][features.NumFeatures]float64, cfg.Users),
 		Groups:       make([]int, cfg.Users),
 		AlertCounts:  make([]int, cfg.Users),
+		Survivors:    deg.survivors,
+		Lost:         sortedOrNil(deg.lost),
+		Partitioned:  sortedOrNil(deg.partitioned),
 	}
 	for u, rep := range reports {
+		if rep == nil {
+			// Casualty: no thresholds ever confirmed on this host. The
+			// console's tally still speaks for whatever it received
+			// before the loss.
+			res.Groups[u] = -1
+			res.AlertCounts[u] = srv.AlertCount(uint32(u))
+			res.TotalAlerts += res.AlertCounts[u]
+			continue
+		}
 		res.Thresholds[u] = rep.Thresholds.Values
 		res.Groups[u] = rep.Thresholds.Group
 		res.AlertCounts[u] = srv.AlertCount(uint32(u))
 		res.TotalAlerts += res.AlertCounts[u]
+		if rep.Thresholds.Epoch < res.Epoch {
+			res.Lagging = append(res.Lagging, u)
+		}
 	}
 
 	// Rebuild the watch feature's alarm matrix from the console's
@@ -459,7 +681,7 @@ func buildResult(cfg Config, srv *console.Server, reports []*AgentReport, storm 
 	// every victim injected nothing, so no window is attacked.
 	injected := false
 	for _, rep := range reports {
-		if rep.OverlayActive {
+		if rep != nil && rep.OverlayActive {
 			injected = true
 			break
 		}
@@ -471,7 +693,15 @@ func buildResult(cfg Config, srv *console.Server, reports []*AgentReport, storm 
 	}
 
 	if cfg.Collab != nil {
-		det, err := collab.New(*cfg.Collab)
+		// Degraded-mode quorum: resolve the (possibly fractional)
+		// quorum over the surviving population, so the fleet never
+		// demands votes from the dead. On a full-strength run this is
+		// exactly the configured absolute quorum.
+		cc := *cfg.Collab
+		cc.Quorum = cc.ResolveQuorum(deg.survivors)
+		cc.QuorumFraction = 0
+		res.EffectiveQuorum = cc.Quorum
+		det, err := collab.New(cc)
 		if err != nil {
 			return nil, err
 		}

@@ -46,6 +46,18 @@ type AgentRun struct {
 	// Clock, when set, synchronizes replay with the rest of a fleet:
 	// one Step per flush interval. Nil runs free (the daemon case).
 	Clock *Clock
+	// SpoolFlushes tolerates transient flush failures mid-run: the
+	// alerts stay spooled in the agent (sequenced, so the eventual
+	// re-flush cannot double-count) and the run keeps stepping — which
+	// is what lets a partitioned agent reach the tick where its
+	// partition heals. The final flush must still succeed. Permanent
+	// failures (closed or dead agent) always abort.
+	SpoolFlushes bool
+	// LeaveOnError makes a failing agent Leave the clock's barrier
+	// instead of cancelling it, so a degraded fleet finishes over its
+	// survivors. Without it (the default), any agent error aborts the
+	// whole fleet.
+	LeaveOnError bool
 	// Logf receives progress lines (default silent).
 	Logf func(format string, args ...any)
 }
@@ -71,7 +83,11 @@ func RunAgent(r AgentRun) (rep *AgentReport, err error) {
 	if r.Clock != nil {
 		defer func() {
 			if err != nil {
-				r.Clock.Cancel()
+				if r.LeaveOnError && err != ErrClockCancelled {
+					r.Clock.Leave()
+				} else {
+					r.Clock.Cancel()
+				}
 			}
 		}()
 	}
@@ -132,8 +148,13 @@ func RunAgent(r AgentRun) (rep *AgentReport, err error) {
 		}
 		if r.FlushEvery > 0 && (b-r.MonitorLo+1)%r.FlushEvery == 0 {
 			rep.AlertsSent += r.Agent.PendingAlerts()
-			if err := r.Agent.Flush(); err != nil {
-				return nil, fmt.Errorf("fleet: flush at window %d: %w", b, err)
+			if ferr := r.Agent.Flush(); ferr != nil {
+				if !r.SpoolFlushes ||
+					errors.Is(ferr, console.ErrAgentClosed) || errors.Is(ferr, console.ErrAgentDead) {
+					return nil, fmt.Errorf("fleet: flush at window %d: %w", b, ferr)
+				}
+				logf("fleet: flush at window %d spooled (%d batches): %v",
+					b, r.Agent.SpooledBatches(), ferr)
 			}
 			if r.Clock != nil {
 				if err := r.Clock.Step(); err != nil {
@@ -238,6 +259,11 @@ type ConsoleSpec struct {
 	Grouping, Heuristic string
 	// Hosts is the number of hosts to wait for before configuring.
 	Hosts int
+	// WriteTimeout and IdleTimeout pass through to the server config:
+	// a write deadline per outbound frame, and a bound on how long a
+	// connection may sit silent before being reaped.
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
 	// Logf receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -256,20 +282,35 @@ func (s ConsoleSpec) Build() (*console.Server, error) {
 		Policy:           core.Policy{Heuristic: h, Grouping: g},
 		ExpectedHosts:    s.Hosts,
 		AttackMagnitudes: mags,
+		WriteTimeout:     s.WriteTimeout,
+		IdleTimeout:      s.IdleTimeout,
 		Logf:             s.Logf,
 	})
 }
 
 // WriteConsoleSummary renders the end-of-run report cmd/consoled
-// prints on shutdown: per-host alert counts and the group structure.
-func WriteConsoleSummary(w io.Writer, srv *console.Server) {
+// prints on shutdown: per-host alert counts, the group structure, and
+// the liveness ledger — reconnect churn per host, plus the hosts the
+// console would exclude from quorum after grace (zero grace skips the
+// dead-host line).
+func WriteConsoleSummary(w io.Writer, srv *console.Server, grace time.Duration) {
 	fmt.Fprintf(w, "\n=== console summary ===\n")
 	fmt.Fprintf(w, "hosts seen: %d\n", len(srv.Hosts()))
 	fmt.Fprintf(w, "total alerts: %d\n", srv.TotalAlerts())
+	liveness := srv.Liveness()
 	for _, id := range srv.Hosts() {
-		fmt.Fprintf(w, "  host %3d: %d alerts\n", id, srv.AlertCount(id))
+		line := fmt.Sprintf("  host %3d: %d alerts", id, srv.AlertCount(id))
+		if lv, ok := liveness[id]; ok {
+			line += fmt.Sprintf(" (connects %d, disconnects %d)", lv.Connects, lv.Disconnects)
+		}
+		fmt.Fprintf(w, "%s\n", line)
 	}
 	if asn := srv.Assignment(features.TCP); asn != nil {
 		fmt.Fprintf(w, "TCP groups: %d\n", len(asn.Groups))
+	}
+	if grace > 0 {
+		if dead := srv.DeadHosts(grace); len(dead) > 0 {
+			fmt.Fprintf(w, "dead after %v grace: %v\n", grace, dead)
+		}
 	}
 }

@@ -1,0 +1,299 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// drainListener accepts every connection and discards its bytes, the
+// minimal always-reading peer (net.Pipe writes block until read).
+func drainListener(ln *MemListener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() { _, _ = io.Copy(io.Discard, conn) }()
+	}
+}
+
+// runFaultSchedule drives a fixed script of dials and writes through
+// a FaultNetwork and returns the outcome log: the observable fault
+// schedule. The script advances the logical tick every 10 steps so
+// offline windows are exercised alongside probabilistic faults.
+func runFaultSchedule(t *testing.T, plan FaultPlan) []string {
+	t.Helper()
+	mem := NewMemNetwork()
+	var tick atomic.Int64
+	fnet, err := NewFaultNetwork(mem, plan, TickerFunc(func() int { return int(tick.Load()) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := fnet.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go drainListener(ln)
+
+	var log []string
+	for host := 0; host < 3; host++ {
+		tick.Store(0)
+		var conn net.Conn
+		for i := 0; i < 40; i++ {
+			tick.Store(int64(i / 10))
+			if conn == nil {
+				c, err := fnet.Dial(host, "svc")
+				if err != nil {
+					log = append(log, fmt.Sprintf("h%d s%d dial: %v", host, i, err))
+					continue
+				}
+				conn = c
+			}
+			payload := bytes.Repeat([]byte{byte(host*41 + i)}, 1+(i*7)%64)
+			n, err := conn.Write(payload)
+			log = append(log, fmt.Sprintf("h%d s%d write: n=%d err=%v", host, i, n, err))
+			if err != nil || errors.Is(err, ErrSevered) {
+				conn = nil
+				continue
+			}
+			// A dropped write reports success but severs; probe so the
+			// schedule log captures it deterministically.
+			if fc, ok := conn.(*FaultConn); ok && fc.isSevered() {
+				log = append(log, fmt.Sprintf("h%d s%d severed", host, i))
+				conn = nil
+			}
+		}
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}
+	return log
+}
+
+// TestFaultScheduleDeterministic pins the determinism contract: the
+// same plan and seed reproduce the same fault schedule, and a
+// different seed produces a different one.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	plan := FaultPlan{
+		Seed:      42,
+		DropProb:  0.2,
+		ResetProb: 0.15,
+		Crashes:   []CrashWindow{{Host: 1, From: 1, To: 3}},
+		Partitions: []Partition{
+			{Hosts: []int{2}, From: 2, To: 3},
+		},
+	}
+	a := runFaultSchedule(t, plan)
+	b := runFaultSchedule(t, plan)
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at step %d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+
+	plan.Seed = 43
+	c := runFaultSchedule(t, plan)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+// TestFaultConnPrefixDelivery pins the delivery invariant: whatever
+// the drop/reset schedule does, the bytes the peer receives are a
+// strict prefix of the bytes written — never reordered, duplicated,
+// or corrupted mid-stream.
+func TestFaultConnPrefixDelivery(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		mem := NewMemNetwork()
+		fnet, err := NewFaultNetwork(mem, FaultPlan{
+			Seed:      seed,
+			DropProb:  0.15,
+			ResetProb: 0.15,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := fnet.Listen("svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var mu sync.Mutex
+		var received bytes.Buffer
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 256)
+			for {
+				n, err := conn.Read(buf)
+				mu.Lock()
+				received.Write(buf[:n])
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+
+		conn, err := fnet.Dial(7, "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sent bytes.Buffer
+		for i := 0; i < 300; i++ {
+			payload := bytes.Repeat([]byte{byte(i)}, 1+(i*13)%97)
+			sent.Write(payload)
+			if _, err := conn.Write(payload); err != nil {
+				break
+			}
+			if conn.(*FaultConn).isSevered() {
+				break
+			}
+		}
+		_ = conn.Close()
+		_ = ln.Close()
+		<-done
+
+		mu.Lock()
+		got := received.Bytes()
+		mu.Unlock()
+		want := sent.Bytes()
+		if len(got) > len(want) {
+			t.Fatalf("seed %d: received %d bytes, only %d written", seed, len(got), len(want))
+		}
+		if !bytes.Equal(got, want[:len(got)]) {
+			t.Fatalf("seed %d: received stream is not a prefix of the written stream", seed)
+		}
+	}
+}
+
+// TestFaultOfflineWindows walks hosts through crash and partition
+// windows and checks dials, writes and the classification helpers.
+func TestFaultOfflineWindows(t *testing.T) {
+	plan := FaultPlan{
+		Crashes:    []CrashWindow{{Host: 1, From: 1, To: 3}},
+		Partitions: []Partition{{Hosts: []int{2}, From: 2, To: -1}},
+	}
+	if plan.Heals() {
+		t.Fatal("plan with a permanent partition reported as healing")
+	}
+	if from, byPart, ok := plan.PermanentLoss(2); !ok || !byPart || from != 2 {
+		t.Fatalf("PermanentLoss(2) = (%d, %v, %v), want (2, true, true)", from, byPart, ok)
+	}
+	if _, _, ok := plan.PermanentLoss(1); ok {
+		t.Fatal("host 1 heals but was classified as a permanent loss")
+	}
+
+	mem := NewMemNetwork()
+	var tick atomic.Int64
+	fnet, err := NewFaultNetwork(mem, plan, TickerFunc(func() int { return int(tick.Load()) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := fnet.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go drainListener(ln)
+
+	dial := func(host int) (net.Conn, error) { return fnet.Dial(host, "svc") }
+
+	// Tick 0: everyone healthy.
+	c1, err := dial(1)
+	if err != nil {
+		t.Fatalf("host 1 dial at tick 0: %v", err)
+	}
+	if _, err := c1.Write([]byte("ok")); err != nil {
+		t.Fatalf("host 1 write at tick 0: %v", err)
+	}
+
+	// Tick 1: host 1 crashed — live conn severs, dials refused.
+	tick.Store(1)
+	if _, err := c1.Write([]byte("x")); !errors.Is(err, ErrHostOffline) {
+		t.Fatalf("host 1 write in crash window: err=%v, want ErrHostOffline", err)
+	}
+	if _, err := dial(1); !errors.Is(err, ErrHostOffline) {
+		t.Fatalf("host 1 dial in crash window: err=%v, want ErrHostOffline", err)
+	}
+	if c, err := dial(2); err != nil {
+		t.Fatalf("host 2 dial at tick 1: %v", err)
+	} else {
+		_ = c.Close()
+	}
+
+	// Tick 2: host 2 permanently partitioned.
+	tick.Store(2)
+	if _, err := dial(2); !errors.Is(err, ErrHostOffline) {
+		t.Fatalf("host 2 dial at tick 2: err=%v, want ErrHostOffline", err)
+	}
+
+	// Tick 3: host 1 restarted; host 2 still gone.
+	tick.Store(3)
+	c1, err = dial(1)
+	if err != nil {
+		t.Fatalf("host 1 dial after restart: %v", err)
+	}
+	if _, err := c1.Write([]byte("back")); err != nil {
+		t.Fatalf("host 1 write after restart: %v", err)
+	}
+	_ = c1.Close()
+	if _, err := dial(2); !errors.Is(err, ErrHostOffline) {
+		t.Fatalf("host 2 dial at tick 3: err=%v, want ErrHostOffline", err)
+	}
+}
+
+// TestFaultPlanValidate rejects malformed plans.
+func TestFaultPlanValidate(t *testing.T) {
+	bad := map[string]FaultPlan{
+		"drop>1":      {DropProb: 1.5},
+		"reset<0":     {ResetProb: -0.1},
+		"sum>1":       {DropProb: 0.7, ResetProb: 0.7},
+		"neg delay":   {Delay: -time.Second},
+		"neg heal":    {HealTick: -1},
+		"empty part":  {Partitions: []Partition{{From: 3, To: 3}}},
+		"neg host":    {Partitions: []Partition{{Hosts: []int{-1}, From: 0, To: 1}}},
+		"empty crash": {Crashes: []CrashWindow{{Host: 0, From: 2, To: 1}}},
+	}
+	for name, plan := range bad {
+		if err := plan.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, plan)
+		}
+	}
+	good := FaultPlan{Seed: 1, DropProb: 0.3, ResetProb: 0.2, Delay: time.Millisecond,
+		Partitions: []Partition{{From: 1, To: -1}}, Crashes: []CrashWindow{{Host: 3, From: 0, To: 2}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	var nilPlan *FaultPlan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+	if !nilPlan.Heals() || nilPlan.OfflineAt(0, 0) {
+		t.Error("nil plan should be a perfect network")
+	}
+}

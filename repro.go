@@ -65,6 +65,11 @@ type Options struct {
 	// analysis.DefaultShardUsers. Ignored without a snapshot
 	// directory.
 	SnapshotShard int
+	// Warnf receives non-fatal operational warnings — today, snapshot
+	// store fallbacks (stale/corrupt file rejected, unwritable
+	// directory) that would otherwise regenerate silently. Default:
+	// stderr.
+	Warnf func(format string, args ...any)
 }
 
 // Enterprise is a generated population together with its lazily
@@ -82,6 +87,7 @@ type Enterprise struct {
 
 	snapDir   string
 	snapShard int
+	warnf     func(format string, args ...any)
 
 	wsOnce sync.Once
 	// ws is published atomically once materialization completes, so
@@ -106,12 +112,19 @@ func NewEnterprise(opts Options) (*Enterprise, error) {
 	if dir == "" {
 		dir = os.Getenv("REPRO_SNAPSHOT_DIR")
 	}
+	warnf := opts.Warnf
+	if warnf == nil {
+		warnf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "repro: "+format+"\n", args...)
+		}
+	}
 	return &Enterprise{
 		Pop:       pop,
 		once:      make([]sync.Once, len(pop.Users)),
 		matrices:  make([]*features.Matrix, len(pop.Users)),
 		snapDir:   dir,
 		snapShard: opts.SnapshotShard,
+		warnf:     warnf,
 	}, nil
 }
 
@@ -198,8 +211,12 @@ func (e *Enterprise) buildWorkspace() *analysis.Workspace {
 			// stream the population into the store in bounded shards
 			// and map the result. Any failure — unwritable directory,
 			// full disk, … — falls through to the in-memory build
-			// rather than failing the run.
+			// rather than failing the run, but is surfaced through
+			// Warnf so operators can tell a fallback from a warm map.
 			ws, _, err := analysis.LoadOrMaterialize(e.snapDir, key, e.snapShard,
+				func(stage string, werr error) {
+					e.warnf("snapshot %s fallback (%s): %v", stage, e.snapDir, werr)
+				},
 				func(u int, rows [][features.NumFeatures]float64) {
 					e.Pop.Users[u].FillSeries(rows)
 				})
