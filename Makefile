@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke
+.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke shard-smoke
 
 all: verify
 
@@ -67,6 +67,27 @@ SNAPSHOT_SMOKE_DIR ?= /tmp/repro-snapshot-smoke
 snapshot-smoke:
 	REPRO_SNAPSHOT_DIR=$(SNAPSHOT_SMOKE_DIR) $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestAttackSweep|TestEnterprise' .
 	REPRO_SNAPSHOT_DIR=$(SNAPSHOT_SMOKE_DIR) $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestAttackSweep|TestEnterprise' .
+
+# shard-smoke proves the distributed snapshot build end to end at the
+# process level: for each suite key, two tracegen worker processes
+# seal disjoint -shard-range parts, a third invocation merges them
+# into the canonical snapshot, and the golden + equivalence suites
+# then run warm through the merged store — so the suites' pinned
+# outputs certify the merged bytes, not just the merge's own
+# checksums. `tracegen gc -dry-run` sweeps the store at the end as a
+# lifecycle smoke. CI runs this as its own job.
+SHARD_SMOKE_DIR ?= /tmp/repro-shard-smoke
+shard-smoke:
+	rm -rf $(SHARD_SMOKE_DIR)
+	$(GO) build -o /tmp/repro-tracegen ./cmd/tracegen
+	/tmp/repro-tracegen -snapshot $(SHARD_SMOKE_DIR) -users 20 -weeks 2 -seed 1 -shard-range 0:11
+	/tmp/repro-tracegen -snapshot $(SHARD_SMOKE_DIR) -users 20 -weeks 2 -seed 1 -shard-range 11:20
+	/tmp/repro-tracegen -snapshot $(SHARD_SMOKE_DIR) -users 20 -weeks 2 -seed 1 -merge
+	/tmp/repro-tracegen -snapshot $(SHARD_SMOKE_DIR) -users 40 -weeks 2 -seed 7 -shard-range 0:23
+	/tmp/repro-tracegen -snapshot $(SHARD_SMOKE_DIR) -users 40 -weeks 2 -seed 7 -shard-range 23:40
+	/tmp/repro-tracegen -snapshot $(SHARD_SMOKE_DIR) -users 40 -weeks 2 -seed 7 -merge
+	REPRO_SNAPSHOT_DIR=$(SHARD_SMOKE_DIR) $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestEnterprise' .
+	/tmp/repro-tracegen gc -snapshot $(SHARD_SMOKE_DIR) -keep 2 -dry-run
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/features"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+)
+
+// TestSnapshotMatrixLoadPath is the agent-side regression test for the
+// snapshot load path: warm stores serve the exact synthesized matrix
+// through the O(record) manifest read, pre-manifest stores fall back
+// to the full load, and out-of-range users — the historical
+// index-panic — degrade to nil (synthetic path) on every branch.
+func TestSnapshotMatrixLoadPath(t *testing.T) {
+	pop, err := trace.NewPopulation(trace.Config{Users: 4, Weeks: 1, Seed: 3, BinWidth: 6 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Cold store: nil, no panic, for valid and invalid users alike.
+	for _, u := range []int{0, -1, 99} {
+		if m := snapshotMatrix(dir, u, pop); m != nil {
+			t.Fatalf("cold store returned a matrix for user %d", u)
+		}
+	}
+
+	key, err := snapshot.KeyFor(pop.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := analysis.MaterializeSharded(dir, key, 0, func(u int, rows [][features.NumFeatures]float64) {
+		pop.Users[u].FillSeries(rows)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Close()
+
+	// Warm store, manifest present: the fast path must serve the
+	// bit-identical series.
+	for _, u := range []int{0, 3} {
+		m := snapshotMatrix(dir, u, pop)
+		if m == nil {
+			t.Fatalf("warm store returned nil for user %d", u)
+		}
+		if want := pop.Users[u].Series(); !reflect.DeepEqual(m.Rows, want.Rows) {
+			t.Fatalf("user %d: snapshot matrix diverges from synthesized series", u)
+		}
+	}
+	// Out-of-range users error inside LoadUserMatrix and the snap
+	// exists, so the fallback full load runs — its bounds guard (not a
+	// slice panic) must turn both into nil.
+	for _, u := range []int{-1, 4, 1 << 20} {
+		if m := snapshotMatrix(dir, u, pop); m != nil {
+			t.Fatalf("out-of-range user %d got a matrix", u)
+		}
+	}
+
+	// Pre-manifest store: deleting the sidecar must route in-range
+	// users through the full load, still bit-identical.
+	if err := os.Remove(key.ManifestPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	m := snapshotMatrix(dir, 2, pop)
+	if m == nil {
+		t.Fatal("manifest-less store returned nil despite a valid snap")
+	}
+	if want := pop.Users[2].Series(); !reflect.DeepEqual(m.Rows, want.Rows) {
+		t.Fatal("manifest-less fallback matrix diverges from synthesized series")
+	}
+	if m := snapshotMatrix(dir, 7, pop); m != nil {
+		t.Fatal("manifest-less store returned a matrix for an out-of-range user")
+	}
+}

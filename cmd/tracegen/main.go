@@ -18,6 +18,27 @@
 // -out may then be omitted to produce only the snapshot. A snapshot
 // that already exists for these parameters is left untouched — the
 // run reports the warm hit and skips generation.
+//
+// Distributed snapshot builds split the work across processes or
+// hosts sharing the store directory:
+//
+//	tracegen -snapshot DIR -users 100000 -shard-range 0:50000      # host A
+//	tracegen -snapshot DIR -users 100000 -shard-range 50000:100000 # host B
+//	tracegen -snapshot DIR -users 100000 -merge                    # coordinator
+//
+// Each -shard-range run seals its user slice as an independently
+// checksummed part file; -merge validates that the sealed parts tile
+// the population and seals the canonical snapshot + manifest,
+// byte-identical to a single-process build. -workers N does the same
+// fan-out with N in-process builders in one invocation.
+//
+// The store itself is managed with the gc subcommand:
+//
+//	tracegen gc -snapshot DIR [-keep N] [-max-bytes B] [-dry-run]
+//
+// which keeps the newest N sealed snapshots within the byte budget
+// and removes evicted snapshots, orphaned manifests and already
+// merged part leftovers.
 package main
 
 import (
@@ -36,6 +57,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "gc" {
+		runGC(os.Args[2:])
+		return
+	}
 	out := flag.String("out", "", "packet-trace output directory")
 	users := flag.Int("users", 10, "number of end hosts")
 	weeks := flag.Int("weeks", 1, "weeks of capture")
@@ -44,10 +69,16 @@ func main() {
 	pcap := flag.Bool("pcap", false, "also write libpcap files (host-NNN.pcap) readable by tcpdump/wireshark")
 	snapDir := flag.String("snapshot", "", "also materialize the feature workspace into this snapshot directory")
 	shard := flag.Int("shard", 0, "users per shard when materializing the snapshot (0 = default)")
+	workers := flag.Int("workers", 0, "coordinator mode: build the snapshot as N in-process shard parts and merge (0/1 = single streaming build)")
+	shardRange := flag.String("shard-range", "", "worker mode: build only users lo:hi as a sealed snapshot part (requires -snapshot)")
+	merge := flag.Bool("merge", false, "coordinator mode: merge previously built -shard-range parts into the sealed snapshot (requires -snapshot)")
 	flag.Parse()
 	if *out == "" && *snapDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if (*shardRange != "" || *merge) && *snapDir == "" {
+		log.Fatalf("tracegen: -shard-range and -merge need -snapshot")
 	}
 
 	pop, err := trace.NewPopulation(trace.Config{
@@ -59,8 +90,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("tracegen: %v", err)
 	}
-	if *snapDir != "" {
-		writeSnapshot(pop, *snapDir, *shard)
+	switch {
+	case *shardRange != "":
+		buildShardRange(pop, *snapDir, *shardRange, *shard)
+		return
+	case *merge:
+		mergeShards(pop, *snapDir)
+		return
+	case *snapDir != "":
+		writeSnapshot(pop, *snapDir, *shard, *workers)
 	}
 	if *out == "" {
 		return
@@ -122,13 +160,13 @@ func main() {
 // writeSnapshot materializes the population's feature workspace into
 // the content-addressed store, shard by shard, unless a valid
 // snapshot for these parameters already exists.
-func writeSnapshot(pop *trace.Population, dir string, shard int) {
+func writeSnapshot(pop *trace.Population, dir string, shard, workers int) {
 	key, err := snapshot.KeyFor(pop.Cfg)
 	if err != nil {
 		log.Fatalf("tracegen: snapshot key: %v", err)
 	}
 	start := time.Now()
-	ws, warm, err := analysis.LoadOrMaterialize(dir, key, shard,
+	ws, warm, err := analysis.LoadOrMaterialize(dir, key, shard, workers,
 		func(stage string, werr error) {
 			log.Printf("tracegen: snapshot %s fallback: %v", stage, werr)
 		},
@@ -146,4 +184,70 @@ func writeSnapshot(pop *trace.Population, dir string, shard int) {
 	}
 	fmt.Printf("%s: materialized %d users in %v\n",
 		key.Path(dir), pop.Cfg.Users, time.Since(start).Round(time.Millisecond))
+}
+
+// buildShardRange is the distributed-build worker: it seals users
+// lo:hi of the population as an independently checksummed part file
+// next to where the final snapshot will live.
+func buildShardRange(pop *trace.Population, dir, rng string, shard int) {
+	var lo, hi int
+	if n, err := fmt.Sscanf(rng, "%d:%d", &lo, &hi); n != 2 || err != nil {
+		log.Fatalf("tracegen: -shard-range wants lo:hi, got %q", rng)
+	}
+	key, err := snapshot.KeyFor(pop.Cfg)
+	if err != nil {
+		log.Fatalf("tracegen: snapshot key: %v", err)
+	}
+	start := time.Now()
+	if err := analysis.BuildShardRange(dir, key, lo, hi, shard, func(u int, rows [][features.NumFeatures]float64) {
+		pop.Users[u].FillSeries(rows)
+	}); err != nil {
+		log.Fatalf("tracegen: building shard range: %v", err)
+	}
+	fmt.Printf("%s: sealed part for users [%d, %d) in %v\n",
+		key.PartPath(dir, lo, hi), lo, hi, time.Since(start).Round(time.Millisecond))
+}
+
+// mergeShards is the distributed-build coordinator finale: it
+// validates that the sealed parts tile the population and seals the
+// canonical snapshot + manifest.
+func mergeShards(pop *trace.Population, dir string) {
+	key, err := snapshot.KeyFor(pop.Cfg)
+	if err != nil {
+		log.Fatalf("tracegen: snapshot key: %v", err)
+	}
+	start := time.Now()
+	n, err := snapshot.MergeShards(dir, key)
+	if err != nil {
+		log.Fatalf("tracegen: merging shards: %v", err)
+	}
+	fmt.Printf("%s: merged %d parts in %v\n",
+		key.Path(dir), n, time.Since(start).Round(time.Millisecond))
+}
+
+// runGC is the "tracegen gc" subcommand: retention for a snapshot
+// store directory.
+func runGC(args []string) {
+	fs := flag.NewFlagSet("tracegen gc", flag.ExitOnError)
+	dir := fs.String("snapshot", "", "snapshot store directory (required)")
+	keep := fs.Int("keep", 0, "keep at most N newest sealed snapshots (0 = no count cap)")
+	maxBytes := fs.Int64("max-bytes", 0, "total byte budget for kept snapshots (0 = no byte cap)")
+	dryRun := fs.Bool("dry-run", false, "report what would be removed without removing it")
+	fs.Parse(args)
+	if *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	st, err := snapshot.GC(*dir, snapshot.GCOptions{
+		KeepLatest: *keep, MaxBytes: *maxBytes, DryRun: *dryRun,
+	})
+	if err != nil {
+		log.Fatalf("tracegen: gc: %v", err)
+	}
+	verb := "removed"
+	if *dryRun {
+		verb = "would remove"
+	}
+	fmt.Printf("%s: kept %d snapshots, %s %d files (%d bytes)\n",
+		*dir, st.Kept, verb, st.Removed, st.FreedBytes)
 }

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+)
+
+// helperConfig mirrors the population TestCrossProcessShardBuild uses;
+// the re-exec'd worker rebuilds it from env so both processes derive
+// the identical key and generator.
+func helperConfig(users int) trace.Config {
+	return trace.Config{Users: users, Weeks: 2, Seed: 7, BinWidth: 3 * time.Hour}
+}
+
+// TestShardWorkerHelper is not a test: it is the worker body
+// TestCrossProcessShardBuild re-execs as a genuinely separate process.
+// Without the env contract it skips immediately.
+func TestShardWorkerHelper(t *testing.T) {
+	dir := os.Getenv("REPRO_SHARD_HELPER_DIR")
+	if dir == "" {
+		t.Skip("helper mode: only runs re-exec'd by TestCrossProcessShardBuild")
+	}
+	users, err := strconv.Atoi(os.Getenv("REPRO_SHARD_HELPER_USERS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi int
+	if n, err := fmt.Sscanf(os.Getenv("REPRO_SHARD_HELPER_RANGE"), "%d:%d", &lo, &hi); n != 2 || err != nil {
+		t.Fatalf("bad REPRO_SHARD_HELPER_RANGE %q: %v", os.Getenv("REPRO_SHARD_HELPER_RANGE"), err)
+	}
+	pop := trace.MustPopulation(helperConfig(users))
+	key, err := snapshot.KeyFor(pop.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildShardRange(dir, key, lo, hi, 0, func(u int, rows [][features.NumFeatures]float64) {
+		pop.Users[u].FillSeries(rows)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossProcessShardBuild is the ISSUE's three-way determinism
+// pin: the same key built via (a) single-process Save, (b) in-process
+// distributed workers, and (c) two separate coordinator processes
+// over disjoint shard ranges plus a merge, must produce byte-identical
+// snapshots AND manifests.
+func TestCrossProcessShardBuild(t *testing.T) {
+	const users = 40
+	pop := trace.MustPopulation(helperConfig(users))
+	key, err := snapshot.KeyFor(pop.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(u int, rows [][features.NumFeatures]float64) {
+		pop.Users[u].FillSeries(rows)
+	}
+
+	// (a) single-process Save from a fully in-memory workspace.
+	saveDir := t.TempDir()
+	mem := NewGenerated(users, func(u int) *features.Matrix { return pop.Users[u].Series() })
+	if _, err := mem.Save(saveDir, key); err != nil {
+		t.Fatal(err)
+	}
+
+	// (b) in-process distributed build: three part writers + merge.
+	distDir := t.TempDir()
+	ws, err := MaterializeDistributed(distDir, key, 0, 3, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Close()
+
+	// (c) two genuinely separate worker processes (the test binary
+	// re-exec'd onto the helper), then a merge in this process — the
+	// tracegen -shard-range / -merge coordinator flow.
+	procDir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rng := range []string{"0:17", "17:40"} {
+		cmd := exec.Command(exe, "-test.run", "^TestShardWorkerHelper$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			"REPRO_SHARD_HELPER_DIR="+procDir,
+			"REPRO_SHARD_HELPER_USERS="+strconv.Itoa(users),
+			"REPRO_SHARD_HELPER_RANGE="+rng,
+		)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("worker process %s failed: %v\n%s", rng, err, out)
+		}
+	}
+	if n, err := snapshot.MergeShards(procDir, key); err != nil || n != 2 {
+		t.Fatalf("MergeShards: n=%d err=%v", n, err)
+	}
+
+	want, err := os.ReadFile(key.Path(saveDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMan, err := os.ReadFile(key.ManifestPath(saveDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, dir := range map[string]string{"in-process distributed": distDir, "cross-process": procDir} {
+		got, err := os.ReadFile(key.Path(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s snapshot bytes differ from single-process Save", name)
+		}
+		gotMan, err := os.ReadFile(key.ManifestPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotMan, wantMan) {
+			t.Fatalf("%s manifest bytes differ from single-process Save", name)
+		}
+	}
+
+	// The merged store round-trips through the workspace layer.
+	loaded, err := Load(procDir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	requireEqualWorkspaces(t, loaded, mem)
+}
+
+// TestLoadOrMaterializeWorkers pins the workers > 1 cold path to the
+// single-pass build byte for byte, and the warm path to a plain map.
+func TestLoadOrMaterializeWorkers(t *testing.T) {
+	pop, key := popAndKey(t, 23, 2, 11, 6*time.Hour)
+	gen := func(u int, rows [][features.NumFeatures]float64) {
+		pop.Users[u].FillSeries(rows)
+	}
+	singleDir, distDir := t.TempDir(), t.TempDir()
+	ws, _, err := LoadOrMaterialize(singleDir, key, 0, 0, nil, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Close()
+	ws, warm, err := LoadOrMaterialize(distDir, key, 5, 4, nil, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Close()
+	if warm {
+		t.Fatal("cold build reported warm")
+	}
+	want, err := os.ReadFile(key.Path(singleDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(key.Path(distDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("workers>1 cold build bytes differ from single-pass build")
+	}
+	if ws, warm, err = LoadOrMaterialize(distDir, key, 5, 4, nil, gen); err != nil || !warm {
+		t.Fatalf("second call: warm=%v err=%v", warm, err)
+	}
+	ws.Close()
+}
+
+// TestLoadUserMatrix covers hidsd's O(record) load path: the fetched
+// matrix must equal the fully loaded workspace's, out-of-range users
+// must error (not panic) naming the geometry, and a manifest-less
+// store must surface fs.ErrNotExist so callers fall back to Load.
+func TestLoadUserMatrix(t *testing.T) {
+	pop, key := popAndKey(t, 9, 2, 5, 6*time.Hour)
+	dir := t.TempDir()
+	ws, err := MaterializeSharded(dir, key, 0, func(u int, rows [][features.NumFeatures]float64) {
+		pop.Users[u].FillSeries(rows)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	for _, u := range []int{0, 4, 8} {
+		m, err := LoadUserMatrix(dir, key, u)
+		if err != nil {
+			t.Fatalf("LoadUserMatrix(%d): %v", u, err)
+		}
+		want := ws.Matrices()[u]
+		if m.BinWidth != want.BinWidth || m.StartMicros != want.StartMicros {
+			t.Fatalf("user %d matrix metadata diverges", u)
+		}
+		if !reflect.DeepEqual(m.Rows, want.Rows) {
+			t.Fatalf("user %d rows diverge from the mapped workspace", u)
+		}
+	}
+	for _, u := range []int{-1, 9} {
+		if _, err := LoadUserMatrix(dir, key, u); err == nil {
+			t.Fatalf("LoadUserMatrix(%d) accepted an out-of-range user", u)
+		}
+	}
+	if err := os.Remove(key.ManifestPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadUserMatrix(dir, key, 1); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("manifest-less store: err = %v, want fs.ErrNotExist", err)
+	}
+}

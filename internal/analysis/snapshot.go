@@ -126,7 +126,11 @@ func Load(dir string, key snapshot.Key) (*Workspace, error) {
 // anything but plain absence), stage "materialize" when the
 // cold-build itself fails. Operators watching warn can tell a mystery
 // cold rebuild from a routine first run.
-func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers int, warn func(stage string, err error), generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
+// workers chooses the cold-build strategy: <= 1 builds in one
+// streaming pass (MaterializeSharded), > 1 fans contiguous user
+// ranges over that many in-process part builders and merges
+// (MaterializeDistributed) — byte-identical output either way.
+func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers, workers int, warn func(stage string, err error), generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
 	ws, lerr := Load(dir, key)
 	if lerr == nil {
 		return ws, true, nil
@@ -134,11 +138,92 @@ func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers int, warn func(s
 	if warn != nil && !errors.Is(lerr, fs.ErrNotExist) {
 		warn("load", lerr)
 	}
-	ws, err = MaterializeSharded(dir, key, shardUsers, generate)
+	if workers > 1 {
+		ws, err = MaterializeDistributed(dir, key, shardUsers, workers, generate)
+	} else {
+		ws, err = MaterializeSharded(dir, key, shardUsers, generate)
+	}
 	if err != nil && warn != nil {
 		warn("materialize", err)
 	}
 	return ws, false, err
+}
+
+// LoadUserMatrix fetches ONE user's matrix from the store in
+// O(record): snapshot.OpenUser validates the manifest and the
+// containing integrity shard only, so at population scale the read
+// touches a few hundred records' worth of bytes instead of
+// checksumming and mapping the whole file the way Load must. The
+// returned matrix owns its rows (no mapping to close). Callers fall
+// back to a full Load for manifest-less (pre-manifest) stores.
+func LoadUserMatrix(dir string, key snapshot.Key, u int) (*features.Matrix, error) {
+	rec, err := snapshot.OpenUser(dir, key, u)
+	if err != nil {
+		return nil, err
+	}
+	return &features.Matrix{
+		BinWidth:    key.BinWidth,
+		StartMicros: key.StartMicros,
+		Rows:        rec.Rows(),
+	}, nil
+}
+
+// BuildShardRange materializes users [lo, hi) of key into a sealed
+// part file under dir — one worker's slice of a distributed build.
+// generate has the MaterializeSharded contract; it is only called for
+// users inside the range, so a coordinator can hand disjoint ranges
+// to separate processes (or hosts sharing a filesystem) and each pays
+// only its slice of the generation cost. snapshot.MergeShards seals
+// the parts into the canonical snapshot once all ranges exist.
+func BuildShardRange(dir string, key snapshot.Key, lo, hi, shardUsers int, generate func(u int, rows [][features.NumFeatures]float64)) error {
+	wr, err := snapshot.CreateShard(dir, key, lo, hi)
+	if err != nil {
+		return err
+	}
+	lay := wr.Layout()
+	if err := writeRecordsRange(wr, lo, hi, shardUsers, func(u int, rec []float64) {
+		generate(u, rowsView(rec, lay))
+		fillDerived(rec, lay)
+	}); err != nil {
+		wr.Abort()
+		return err
+	}
+	return wr.Finish()
+}
+
+// MaterializeDistributed is the in-process coordinator: it fans
+// contiguous user ranges over a pool of part builders, merges the
+// sealed parts into the canonical snapshot, and maps it. The result —
+// snapshot and manifest both — is byte-identical to MaterializeSharded
+// over the same generator (the cross-process determinism tests pin
+// all build strategies to each other).
+func MaterializeDistributed(dir string, key snapshot.Key, shardUsers, workers int, generate func(u int, rows [][features.NumFeatures]float64)) (*Workspace, error) {
+	workers = par.Workers(workers, key.Users)
+	if workers < 2 {
+		return MaterializeSharded(dir, key, shardUsers, generate)
+	}
+	// Contiguous near-equal ranges, one part per worker.
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		lo := i * key.Users / workers
+		hi := (i + 1) * key.Users / workers
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			errs[i] = BuildShardRange(dir, key, lo, hi, shardUsers, generate)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := snapshot.MergeShards(dir, key); err != nil {
+		return nil, err
+	}
+	return Load(dir, key)
 }
 
 // MaterializeSharded materializes a population straight into a
@@ -169,23 +254,36 @@ func MaterializeSharded(dir string, key snapshot.Key, shardUsers int, generate f
 	return Load(dir, key)
 }
 
+// recordAppender is the writer seam writeRecordsRange streams
+// through: the full-snapshot Writer and the part-file ShardWriter
+// share it.
+type recordAppender interface {
+	Layout() snapshot.Layout
+	AppendUsers([]float64) error
+}
+
 // writeRecords pulls user records through fill in bounded shards and
 // appends them to the writer in user order. One shard buffer is
 // reused for the whole run; fill runs on the shared worker pool.
 func writeRecords(wr *snapshot.Writer, users, shardUsers int, fill func(u int, rec []float64)) error {
+	return writeRecordsRange(wr, 0, users, shardUsers, fill)
+}
+
+// writeRecordsRange is writeRecords over the user range [lo, hi).
+func writeRecordsRange(wr recordAppender, lo, hi, shardUsers int, fill func(u int, rec []float64)) error {
 	if shardUsers <= 0 {
 		shardUsers = DefaultShardUsers
 	}
-	if shardUsers > users {
-		shardUsers = users
+	if shardUsers > hi-lo {
+		shardUsers = hi - lo
 	}
 	rf := wr.Layout().RecordFloats()
 	buf := make([]float64, shardUsers*rf)
-	for lo := 0; lo < users; lo += shardUsers {
-		n := min(shardUsers, users-lo)
+	for base := lo; base < hi; base += shardUsers {
+		n := min(shardUsers, hi-base)
 		chunk := buf[:n*rf]
 		par.ForEach(n, 0, func(i int) {
-			fill(lo+i, chunk[i*rf:(i+1)*rf:(i+1)*rf])
+			fill(base+i, chunk[i*rf:(i+1)*rf:(i+1)*rf])
 		})
 		if err := wr.AppendUsers(chunk); err != nil {
 			return err

@@ -39,8 +39,9 @@ func TestFleetSnapshotBackedRunMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ents) != 1 {
-		t.Fatalf("cold run left %d files in the store, want 1", len(ents))
+	// One sealed snapshot plus its manifest sidecar, nothing else.
+	if len(ents) != 2 {
+		t.Fatalf("cold run left %d files in the store, want .snap + .manifest", len(ents))
 	}
 	warm, err := Run(snap) // hit: generation skipped entirely
 	if err != nil {

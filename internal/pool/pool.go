@@ -1,0 +1,76 @@
+// Package pool provides size-bucketed free lists for the short-lived
+// tables that per-user generator construction burns through: slices
+// are recycled in power-of-two capacity classes on top of sync.Pool,
+// so a population sweep that builds one rank table and one mark table
+// per user stops paying an allocation (and its zeroing) for each.
+//
+// The pools hand back DIRTY memory: a Get may return a slice still
+// holding a previous owner's data. They are therefore only for tables
+// whose construction fully overwrites every element that is later
+// read — exactly the contract the Zipf rank tables satisfy — or whose
+// caller clears them (the distinct-destination mark table).
+package pool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClass bounds the pooled capacity classes at 1<<maxClass
+// elements; larger requests fall through to plain make (they are rare
+// enough that pooling them would just pin huge arrays).
+const maxClass = 24
+
+// Slices recycles []T storage in power-of-two capacity classes. The
+// zero value is ready to use; all methods are safe for concurrent
+// callers. Get returns possibly dirty memory (see the package
+// comment).
+type Slices[T any] struct {
+	classes [maxClass + 1]sync.Pool // class c holds *[]T with cap exactly 1<<c
+	// boxes recycles the spent *[]T headers Get unwraps, so a
+	// steady-state Get/Put cycle allocates nothing at all — without it
+	// every Put would heap-allocate a fresh 24-byte slice header to
+	// interface the value into sync.Pool.
+	boxes sync.Pool
+}
+
+// Get returns a length-n slice with power-of-two capacity, reusing
+// pooled storage when a matching class has any. Contents are
+// unspecified.
+func (p *Slices[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c > maxClass {
+		return make([]T, n)
+	}
+	if v, _ := p.classes[c].Get().(*[]T); v != nil {
+		s := (*v)[:n]
+		*v = nil
+		p.boxes.Put(v)
+		return s
+	}
+	return make([]T, n, 1<<c)
+}
+
+// Put recycles a slice obtained from Get (or any slice whose capacity
+// is an exact power of two); other capacities are silently dropped.
+// The caller must not use s after Put.
+func (p *Slices[T]) Put(s []T) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cl := bits.TrailingZeros(uint(c))
+	if cl > maxClass {
+		return
+	}
+	s = s[:c]
+	v, _ := p.boxes.Get().(*[]T)
+	if v == nil {
+		v = new([]T)
+	}
+	*v = s
+	p.classes[cl].Put(v)
+}

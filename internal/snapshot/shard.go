@@ -1,0 +1,364 @@
+package snapshot
+
+// Distributed builds: independent workers (goroutines, processes or
+// hosts sharing a filesystem) each seal a contiguous user range
+// [lo, hi) as a part file next to the final snapshot, and a final
+// MergeShards call validates that the sealed parts tile the population
+// exactly, streams them through an ordinary Writer, and seals the
+// canonical snapshot + manifest. Because the merge replays the exact
+// record bytes through the same Writer a single-process Save uses, the
+// merged store is byte-identical to the single-process build — both
+// the .snap and its .manifest — by construction.
+//
+// # Part layout
+//
+// A part is a sealed, self-checksummed slice of the payload:
+//
+//	offset 0    magic "RPWSPRT1" (8 bytes)
+//	offset 8    header: 15 × uint64
+//	              fields 0–9: identical to the snapshot header
+//	              (headerVersion … binsPerWeek), then payloadFloats
+//	              (of the FULL key, so a part can never be mistaken
+//	              for a differently sized population), lo, hi,
+//	              partFloats ((hi-lo) × recordFloats), partCRC
+//	              (CRC-32C of the part payload, low 32 bits)
+//	then        payload: users [lo, hi) × record
+//
+// Parts use the same temp-file + atomic-rename discipline as the
+// snapshot writer: a crashed worker leaves only a temp file (swept by
+// the next Create), never a sealed-looking part.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const (
+	partMagic    = "RPWSPRT1"
+	partFields   = 15
+	partHdrBytes = 8 + partFields*8
+)
+
+// PartPath returns the part-file path for users [lo, hi) of the key
+// under dir. The range is zero-padded so lexical order is user order.
+func (k Key) PartPath(dir string, lo, hi int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.part-%08d-%08d", k.Filename(), lo, hi))
+}
+
+func (k Key) encodePartHeader(lo, hi, partFloats int, crc uint32) []byte {
+	buf := make([]byte, partHdrBytes)
+	copy(buf, partMagic)
+	fields := []uint64{
+		headerVersion,
+		EngineVersion,
+		k.Seed,
+		uint64(k.Users),
+		uint64(k.Weeks),
+		uint64(k.BinWidth.Microseconds()),
+		uint64(k.StartMicros),
+		math.Float64bits(k.HeavyFraction),
+		math.Float64bits(k.WeeklyTrend),
+		uint64(k.BinsPerWeek()),
+		uint64(k.Layout().PayloadFloats()),
+		uint64(lo),
+		uint64(hi),
+		uint64(partFloats),
+		uint64(crc),
+	}
+	for i, v := range fields {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], v)
+	}
+	return buf
+}
+
+// checkPartHeader validates a part header against the key and the
+// range its filename claims, returning the payload checksum it seals.
+func (k Key) checkPartHeader(buf []byte, lo, hi int) (checksum uint64, err error) {
+	if len(buf) < partHdrBytes || string(buf[:8]) != partMagic {
+		return 0, fmt.Errorf("snapshot: bad part magic (not a shard part)")
+	}
+	field := func(i int) uint64 { return binary.LittleEndian.Uint64(buf[8+8*i:]) }
+	rf := k.Layout().RecordFloats()
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"header version", field(0), headerVersion},
+		{"engine version", field(1), EngineVersion},
+		{"seed", field(2), k.Seed},
+		{"users", field(3), uint64(k.Users)},
+		{"weeks", field(4), uint64(k.Weeks)},
+		{"bin width", field(5), uint64(k.BinWidth.Microseconds())},
+		{"start micros", field(6), uint64(k.StartMicros)},
+		{"heavy fraction", field(7), math.Float64bits(k.HeavyFraction)},
+		{"weekly trend", field(8), math.Float64bits(k.WeeklyTrend)},
+		{"bins per week", field(9), uint64(k.BinsPerWeek())},
+		{"payload floats", field(10), uint64(k.Layout().PayloadFloats())},
+		{"range lo", field(11), uint64(lo)},
+		{"range hi", field(12), uint64(hi)},
+		{"part floats", field(13), uint64((hi - lo) * rf)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			return 0, fmt.Errorf("snapshot: part %s mismatch (file %d, want %d)", c.name, c.got, c.want)
+		}
+	}
+	return field(14), nil
+}
+
+// ShardWriter streams one contiguous user range of a snapshot to a
+// sealed part file. It mirrors Writer's contract: append users
+// [lo, hi) in order, then Finish (or Abort).
+type ShardWriter struct {
+	key    Key
+	lay    Layout
+	lo, hi int
+	f      *os.File
+	bw     *bufio.Writer
+	crc    uint32
+	users  int // appended so far, relative to lo
+	tmp    string
+	final  string
+	done   bool
+}
+
+// CreateShard opens a part writer for users [lo, hi) of key under dir
+// (created if missing). Ranges from concurrent workers must be
+// disjoint; MergeShards enforces that they tile the population.
+func CreateShard(dir string, key Key, lo, hi int) (*ShardWriter, error) {
+	if err := key.validate(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi <= lo || hi > key.Users {
+		return nil, fmt.Errorf("snapshot: shard range [%d, %d) invalid for %d users", lo, hi, key.Users)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	sweepStaleTemps(dir)
+	final := key.PartPath(dir, lo, hi)
+	f, err := os.CreateTemp(dir, filepath.Base(final)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	w := &ShardWriter{key: key, lay: key.Layout(), lo: lo, hi: hi, f: f,
+		bw: bufio.NewWriterSize(f, 1<<20), tmp: f.Name(), final: final}
+	if _, err := w.bw.Write(key.encodePartHeader(lo, hi, (hi-lo)*w.lay.RecordFloats(), 0)); err != nil {
+		w.Abort()
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return w, nil
+}
+
+// Layout returns the writer's payload geometry (of the full key).
+func (w *ShardWriter) Layout() Layout { return w.lay }
+
+// Range returns the user range [lo, hi) the part covers.
+func (w *ShardWriter) Range() (lo, hi int) { return w.lo, w.hi }
+
+// AppendUsers appends whole user records (len must be a multiple of
+// Layout().RecordFloats()) in user order within the part's range.
+func (w *ShardWriter) AppendUsers(recs []float64) error {
+	rf := w.lay.RecordFloats()
+	if len(recs)%rf != 0 {
+		return fmt.Errorf("snapshot: AppendUsers got %d floats, not a multiple of the %d-float record", len(recs), rf)
+	}
+	n := len(recs) / rf
+	if w.lo+w.users+n > w.hi {
+		return fmt.Errorf("snapshot: appending past the shard range [%d, %d)", w.lo, w.hi)
+	}
+	b := floatBytes(recs)
+	w.crc = crc32.Update(w.crc, crcTable, b)
+	if _, err := w.bw.Write(b); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	w.users += n
+	return nil
+}
+
+// Finish seals the part: the full range must have been appended. It
+// flushes, patches the header checksum, syncs and atomically renames
+// the part into place.
+func (w *ShardWriter) Finish() error {
+	if w.done {
+		return fmt.Errorf("snapshot: shard writer already finished")
+	}
+	if w.lo+w.users != w.hi {
+		w.Abort()
+		return fmt.Errorf("snapshot: %d of %d shard users appended", w.users, w.hi-w.lo)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.Abort()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	hdr := w.key.encodePartHeader(w.lo, w.hi, (w.hi-w.lo)*w.lay.RecordFloats(), w.crc)
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		w.Abort()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.Abort()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.Abort()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	w.done = true
+	if err := os.Rename(w.tmp, w.final); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// Abort discards the partial part file.
+func (w *ShardWriter) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	_ = w.f.Close()
+	_ = os.Remove(w.tmp)
+}
+
+// partRange is one discovered sealed part.
+type partRange struct {
+	path   string
+	lo, hi int
+}
+
+// findParts lists the sealed parts of key under dir, sorted by lo.
+func findParts(dir string, key Key) ([]partRange, error) {
+	prefix := key.Filename() + ".part-"
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var parts []partRange
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || strings.Contains(name, ".tmp") {
+			continue
+		}
+		var lo, hi int
+		if _, err := fmt.Sscanf(name[len(prefix):], "%d-%d", &lo, &hi); err != nil {
+			continue
+		}
+		parts = append(parts, partRange{path: filepath.Join(dir, name), lo: lo, hi: hi})
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].lo < parts[j].lo })
+	return parts, nil
+}
+
+// MergeShards discovers the sealed parts of key under dir, verifies
+// they tile [0, users) exactly, and streams them — re-verifying each
+// part's checksum as it goes — through an ordinary Writer into the
+// sealed snapshot + manifest, byte-identical to a single-process
+// build. On success the consumed part files are removed. It returns
+// the number of parts merged.
+func MergeShards(dir string, key Key) (int, error) {
+	if err := key.validate(); err != nil {
+		return 0, err
+	}
+	parts, err := findParts(dir, key)
+	if err != nil {
+		return 0, err
+	}
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("snapshot: no sealed parts for %s under %s", key.Filename(), dir)
+	}
+	next := 0
+	for _, p := range parts {
+		if p.lo != next {
+			return 0, fmt.Errorf("snapshot: parts do not tile the population: next range starts at %d, want %d (have %s)", p.lo, next, filepath.Base(p.path))
+		}
+		next = p.hi
+	}
+	if next != key.Users {
+		return 0, fmt.Errorf("snapshot: parts cover users [0, %d), store needs [0, %d)", next, key.Users)
+	}
+	w, err := Create(dir, key)
+	if err != nil {
+		return 0, err
+	}
+	lay := key.Layout()
+	rf := lay.RecordFloats()
+	// Chunked whole-record copies through a float64 buffer: reading
+	// into floatBytes of a []float64 keeps the 8-byte alignment
+	// AppendUsers' reinterpretation needs.
+	chunkRecs := (1 << 20) / (rf * 8)
+	if chunkRecs < 1 {
+		chunkRecs = 1
+	}
+	buf := make([]float64, chunkRecs*rf)
+	for _, p := range parts {
+		if err := mergeOnePart(w, key, p, buf); err != nil {
+			w.Abort()
+			return 0, err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return 0, err
+	}
+	for _, p := range parts {
+		_ = os.Remove(p.path)
+	}
+	return len(parts), nil
+}
+
+func mergeOnePart(w *Writer, key Key, p partRange, buf []float64) error {
+	f, err := os.Open(p.path)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	rf := key.Layout().RecordFloats()
+	wantSize := int64(partHdrBytes) + int64(p.hi-p.lo)*int64(rf)*8
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if st.Size() != wantSize {
+		return fmt.Errorf("snapshot: part %s is %d bytes, want %d (truncated or foreign)", filepath.Base(p.path), st.Size(), wantSize)
+	}
+	var hdr [partHdrBytes]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	checksum, err := key.checkPartHeader(hdr[:], p.lo, p.hi)
+	if err != nil {
+		return fmt.Errorf("snapshot: part %s: %w", filepath.Base(p.path), err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	crc := uint32(0)
+	for rem := p.hi - p.lo; rem > 0; {
+		n := len(buf) / rf
+		if n > rem {
+			n = rem
+		}
+		chunk := buf[:n*rf]
+		b := floatBytes(chunk)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return fmt.Errorf("snapshot: part %s: %w", filepath.Base(p.path), err)
+		}
+		crc = crc32.Update(crc, crcTable, b)
+		if err := w.AppendUsers(chunk); err != nil {
+			return err
+		}
+		rem -= n
+	}
+	if uint64(crc) != checksum {
+		return fmt.Errorf("snapshot: part %s payload checksum %08x != header %08x (corrupt)", filepath.Base(p.path), crc, checksum)
+	}
+	return nil
+}

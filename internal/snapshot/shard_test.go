@@ -1,0 +1,178 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// testPayload returns the same deterministic payload fillTestRecords
+// seals, without writing anything.
+func testPayload(key Key) []float64 {
+	lay := key.Layout()
+	payload := make([]float64, lay.PayloadFloats())
+	r := xrand.New(41)
+	for i := range payload {
+		payload[i] = float64(r.Intn(1 << 20))
+	}
+	return payload
+}
+
+// sealParts writes the payload's user ranges as sealed part files.
+func sealParts(t *testing.T, dir string, key Key, payload []float64, cuts []int) {
+	t.Helper()
+	rf := key.Layout().RecordFloats()
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		w, err := CreateShard(dir, key, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendUsers(payload[lo*rf : hi*rf]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMergedShardsByteIdentical is the central determinism pin: the
+// same payload built as (a) one Writer and (b) sealed parts merged by
+// MergeShards must produce byte-identical .snap AND .manifest files —
+// including a ragged last shard and part boundaries that do not align
+// with the manifest's integrity shards.
+func TestMergedShardsByteIdentical(t *testing.T) {
+	key := testKey(ManifestShardUsers+13, 1, 6*time.Hour)
+	singleDir, mergedDir := t.TempDir(), t.TempDir()
+	payload := fillTestRecords(t, singleDir, key)
+
+	sealParts(t, mergedDir, key, payload, []int{0, 40, ManifestShardUsers + 1, key.Users})
+	n, err := MergeShards(mergedDir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("merged %d parts, want 3", n)
+	}
+	for _, suffix := range []string{"", manifestSuffix} {
+		a, err := os.ReadFile(key.Path(singleDir) + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(key.Path(mergedDir) + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("single-writer and merged %q files differ (%d vs %d bytes)", ".snap"+suffix, len(a), len(b))
+		}
+	}
+	// The consumed parts are gone; the merged store serves both paths.
+	parts, err := findParts(mergedDir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 0 {
+		t.Fatalf("%d part files survived the merge", len(parts))
+	}
+	s, err := Open(mergedDir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rf := key.Layout().RecordFloats()
+	for _, u := range []int{0, 39, 40, ManifestShardUsers, key.Users - 1} {
+		rec, err := OpenUser(mergedDir, key, u)
+		if err != nil {
+			t.Fatalf("OpenUser(%d) on merged store: %v", u, err)
+		}
+		if rec.Record()[3] != payload[u*rf+3] {
+			t.Fatalf("merged record %d diverges from payload", u)
+		}
+	}
+}
+
+func TestCreateShardValidatesRange(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(10, 1, 6*time.Hour)
+	for _, r := range [][2]int{{-1, 5}, {5, 5}, {6, 4}, {0, 11}} {
+		if w, err := CreateShard(dir, key, r[0], r[1]); err == nil {
+			w.Abort()
+			t.Fatalf("CreateShard accepted range [%d, %d)", r[0], r[1])
+		}
+	}
+}
+
+func TestShardFinishRequiresFullRange(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(10, 1, 6*time.Hour)
+	w, err := CreateShard(dir, key, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := w.Layout().RecordFloats()
+	if err := w.AppendUsers(make([]float64, rf)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendUsers(make([]float64, 4*rf)); err == nil {
+		t.Fatal("appended past the shard range")
+	}
+	if err := w.Finish(); err == nil {
+		t.Fatal("Finish sealed a part with 1 of 4 users")
+	}
+	if _, err := os.Stat(key.PartPath(dir, 2, 6)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("partial part became visible: %v", err)
+	}
+}
+
+func TestMergeRejectsBadTiling(t *testing.T) {
+	key := testKey(12, 1, 6*time.Hour)
+	payload := testPayload(key)
+	for name, cuts := range map[string][]int{
+		"gap":          {0, 4, 8}, // then a part [9, 12): hole at 8
+		"missing tail": {0, 6},
+		"missing head": {4, 12},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			sealParts(t, dir, key, payload, cuts)
+			if name == "gap" {
+				sealParts(t, dir, key, payload, []int{9, 12})
+			}
+			if _, err := MergeShards(dir, key); err == nil {
+				t.Fatal("MergeShards accepted parts that do not tile the population")
+			} else {
+				t.Log(err)
+			}
+			if _, err := os.Stat(key.Path(dir)); !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("failed merge left a sealed snapshot: %v", err)
+			}
+		})
+	}
+	if _, err := MergeShards(t.TempDir(), key); err == nil {
+		t.Fatal("MergeShards accepted an empty directory")
+	}
+}
+
+func TestMergeRejectsCorruptPart(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(8, 1, 6*time.Hour)
+	payload := testPayload(key)
+	sealParts(t, dir, key, payload, []int{0, 4, 8})
+	corrupt(t, key.PartPath(dir, 4, 8), func(b []byte) []byte {
+		b[partHdrBytes+21] ^= 0x01
+		return b
+	})
+	if _, err := MergeShards(dir, key); err == nil {
+		t.Fatal("MergeShards accepted a corrupt part")
+	}
+	if _, err := os.Stat(key.Path(dir)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("failed merge left a sealed snapshot: %v", err)
+	}
+}

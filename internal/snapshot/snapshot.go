@@ -55,6 +55,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 	"unsafe"
 
@@ -171,8 +172,14 @@ func (k Key) validate() error {
 	if k.Users <= 0 || k.Weeks <= 0 {
 		return fmt.Errorf("snapshot: key needs positive users/weeks, got %d/%d", k.Users, k.Weeks)
 	}
-	if k.BinWidth <= 0 || (7*24*time.Hour)%k.BinWidth != 0 {
-		return fmt.Errorf("snapshot: bin width %v does not divide a week", k.BinWidth)
+	// The width must divide a day, not merely a week: the layout's day
+	// views carve each week into 7 × BinsPerDay windows, and a width
+	// like 1120m (9 bins/week) divides a week but truncates
+	// BinsPerDay to 9/7 = 1, silently writing day views that cover 7
+	// of the week's 9 bins with inconsistent RecordFloats geometry.
+	// Day divisibility implies week divisibility (a week is 7 days).
+	if k.BinWidth <= 0 || (24*time.Hour)%k.BinWidth != 0 {
+		return fmt.Errorf("snapshot: bin width %v does not divide a day (day views need 7 equal per-day windows per week)", k.BinWidth)
 	}
 	return nil
 }
@@ -304,6 +311,45 @@ type Writer struct {
 	tmp   string
 	final string
 	done  bool
+
+	// Manifest accounting, tracked record by record as users are
+	// appended: per-record CRC-32Cs plus the running CRC of each
+	// manifest shard (fixed ManifestShardUsers granularity, so every
+	// build strategy — single writer, merged parts — produces the
+	// identical manifest for the same key).
+	recCRCs   []uint32
+	shardCRCs []uint32
+}
+
+// StaleTempAge is how old an unsealed temp file must be before Create
+// sweeps it. Live builds keep their temp file's mtime fresh (the
+// buffered writer flushes continuously), so only writers that crashed
+// or were killed mid-build ever cross the gate.
+const StaleTempAge = time.Hour
+
+// sweepStaleTemps removes leaked temp files of crashed or killed
+// writers from a store directory. Every temp this package creates is
+// named "ws-…" and carries a ".tmp" marker, so sealed snapshots,
+// manifests and shard part files can never match; the age gate keeps
+// live concurrent builds (whose temps are freshly written) safe. Best
+// effort: sweep errors are ignored, the store stays usable either way.
+func sweepStaleTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-StaleTempAge)
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "ws-") || !strings.Contains(name, ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, name))
+	}
 }
 
 // Create opens a snapshot writer for key under dir (created if
@@ -315,6 +361,7 @@ func Create(dir string, key Key) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
+	sweepStaleTemps(dir)
 	final := key.Path(dir)
 	// A per-writer unique temp name: concurrent cold builds of the
 	// same key (two goroutines, two processes) must never share a
@@ -351,6 +398,15 @@ func (w *Writer) AppendUsers(recs []float64) error {
 	}
 	b := floatBytes(recs)
 	w.crc = crc32.Update(w.crc, crcTable, b)
+	for i := 0; i < n; i++ {
+		rb := b[i*rf*8 : (i+1)*rf*8]
+		w.recCRCs = append(w.recCRCs, crc32.Checksum(rb, crcTable))
+		si := (w.users + i) / ManifestShardUsers
+		if si == len(w.shardCRCs) {
+			w.shardCRCs = append(w.shardCRCs, 0)
+		}
+		w.shardCRCs[si] = crc32.Update(w.shardCRCs[si], crcTable, rb)
+	}
 	if _, err := w.bw.Write(b); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
@@ -389,6 +445,13 @@ func (w *Writer) Finish() error {
 	if err := os.Rename(w.tmp, w.final); err != nil {
 		os.Remove(w.tmp)
 		return fmt.Errorf("snapshot: %w", err)
+	}
+	// The manifest seals after the snapshot so a reader can never see
+	// a manifest without its store. A failed manifest write degrades
+	// the store to manifest-less (OpenUser errors, full Open still
+	// works), which is strictly better than no snapshot at all.
+	if err := writeManifest(w.final+manifestSuffix, w.key, w.shardCRCs, w.recCRCs); err != nil {
+		return fmt.Errorf("snapshot: manifest: %w", err)
 	}
 	return nil
 }
@@ -491,8 +554,33 @@ func (s *Snapshot) Key() Key { return s.key }
 // Layout returns the payload geometry.
 func (s *Snapshot) Layout() Layout { return s.lay }
 
+// checkUser validates a user index against the store's geometry. The
+// panic names the index and the full geometry instead of letting an
+// out-of-range index surface as an opaque slice-bounds fault deep in
+// record arithmetic (a hidsd -user beyond the store's population used
+// to die exactly that way).
+func (l Layout) checkUser(u int) {
+	if u < 0 || u >= l.Users {
+		panic(fmt.Sprintf("snapshot: user %d outside store population [0, %d) (weeks=%d binsPerWeek=%d)",
+			u, l.Users, l.Weeks, l.BinsPerWeek))
+	}
+}
+
+// checkWeekFeature validates (week, feature) coordinates against the
+// store's geometry with the same descriptive-panic contract.
+func (l Layout) checkWeekFeature(week, f int) {
+	if week < 0 || week >= l.Weeks {
+		panic(fmt.Sprintf("snapshot: week %d outside store range [0, %d) (users=%d binsPerWeek=%d)",
+			week, l.Weeks, l.Users, l.BinsPerWeek))
+	}
+	if f < 0 || f >= features.NumFeatures {
+		panic(fmt.Sprintf("snapshot: feature %d outside [0, %d)", f, features.NumFeatures))
+	}
+}
+
 // User returns user u's whole record as a zero-copy float view.
 func (s *Snapshot) User(u int) []float64 {
+	s.lay.checkUser(u)
 	rf := s.lay.RecordFloats()
 	return s.payload[u*rf : (u+1)*rf : (u+1)*rf]
 }
@@ -507,6 +595,7 @@ func (s *Snapshot) Rows(u int) [][features.NumFeatures]float64 {
 
 // SortedColumn returns user u's sorted (week, feature) column.
 func (s *Snapshot) SortedColumn(u, week, f int) []float64 {
+	s.lay.checkWeekFeature(week, f)
 	rec := s.User(u)
 	off := s.lay.SortedOff(week, f)
 	return rec[off : off+s.lay.BinsPerWeek : off+s.lay.BinsPerWeek]
@@ -515,6 +604,7 @@ func (s *Snapshot) SortedColumn(u, week, f int) []float64 {
 // DayColumns returns user u's (week, feature) day view: 7 per-day
 // sorted slices sharing one contiguous run of the mapping.
 func (s *Snapshot) DayColumns(u, week, f int) [][]float64 {
+	s.lay.checkWeekFeature(week, f)
 	rec := s.User(u)
 	off := s.lay.DayOff(week, f)
 	bpd := s.lay.BinsPerDay

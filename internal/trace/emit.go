@@ -152,7 +152,8 @@ func (u *User) WriteTrace(w io.Writer, fromBin, toBin int) (int64, error) {
 	}
 	// One batch generator serves every bin: the week state, Zipf rank
 	// table and record scratch amortize across the whole trace.
-	g := u.NewGenerator()
+	g := u.AcquireGenerator()
+	defer g.Release()
 	var writeErr error
 	for b := fromBin; b < toBin && writeErr == nil; b++ {
 		g.EmitBin(b, func(rec netsim.Record) {

@@ -3,9 +3,11 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/features"
 	"repro/internal/netsim"
+	"repro/internal/pool"
 	"repro/internal/xrand"
 )
 
@@ -76,6 +78,55 @@ func (u *User) NewGenerator() *Generator {
 		week:      -1,
 		seen:      make([]uint16, u.poolSize),
 	}
+}
+
+// Construction-table pools: population sweeps build one Generator per
+// user, and the construction allocations (the Generator itself, the
+// Zipf rank/cell tables, the distinct-destination mark table) were
+// the surviving alloc tail after the slab arenas. Generators cycle
+// through a plain sync.Pool — their grown scratch slices ride along —
+// and the mark table through a size-bucketed pool.
+var (
+	genPool  sync.Pool
+	seenPool pool.Slices[uint16]
+)
+
+// AcquireGenerator is NewGenerator drawing the engine and its
+// construction tables from process-wide pools: same output stream,
+// near-zero steady-state allocations. Pair with Release; an
+// unreleased engine is merely garbage, never corrupt.
+func (u *User) AcquireGenerator() *Generator {
+	g, _ := genPool.Get().(*Generator)
+	if g == nil {
+		g = new(Generator)
+	}
+	g.u = u
+	g.zipf = xrand.NewZipfRanksPooled(u.poolSize, u.zipfS)
+	g.synRetryT = xrand.Threshold53(u.synRetryP)
+	g.week = -1
+	g.seen = seenPool.Get(u.poolSize)
+	// The mark table must start all-below-epoch: pooled storage is
+	// dirty and could hold marks equal to a fresh epoch.
+	clear(g.seen)
+	g.epoch = 0
+	return g
+}
+
+// Release returns a pooled engine's tables to the construction pools.
+// The generator must not be used afterwards. Safe on engines from
+// either constructor and on nil.
+func (g *Generator) Release() {
+	if g == nil {
+		return
+	}
+	if g.zipf != nil {
+		g.zipf.Release()
+		g.zipf = nil
+	}
+	seenPool.Put(g.seen)
+	g.seen = nil
+	g.u = nil
+	genPool.Put(g)
 }
 
 // state returns the cached (user, week) state, computing it on week

@@ -133,3 +133,62 @@ func BenchmarkGeneratorBinCounts(b *testing.B) {
 		_ = g.BinCounts(i % u.Bins())
 	}
 }
+
+// TestAcquireGeneratorMatchesNewGenerator pins the pooled generator
+// path (what FillSeries and WriteTrace actually run) to the plain
+// constructor: across acquire/release cycles spanning users with
+// different pool sizes — so each acquisition inherits another user's
+// dirty seen marks and scratch tables — GenerateWeek and EmitBin must
+// be bit-identical to a fresh Generator.
+func TestAcquireGeneratorMatchesNewGenerator(t *testing.T) {
+	p := MustPopulation(Config{Users: 5, Weeks: 2, Seed: 29})
+	rows := make([][features.NumFeatures]float64, p.Cfg.BinsPerWeek())
+	want := make([][features.NumFeatures]float64, p.Cfg.BinsPerWeek())
+	for round := 0; round < 3; round++ {
+		for _, u := range p.Users {
+			fresh := u.NewGenerator()
+			g := u.AcquireGenerator()
+			for week := 0; week < p.Cfg.Weeks; week++ {
+				fresh.GenerateWeek(week, want)
+				g.GenerateWeek(week, rows)
+				if !reflect.DeepEqual(rows, want) {
+					t.Fatalf("round %d user %d week %d: pooled GenerateWeek diverges", round, u.ID, week)
+				}
+			}
+			for _, bin := range []int{0, 1, 7, u.Bins() - 1} {
+				var wantRecs, gotRecs []netsim.Record
+				nw := fresh.EmitBin(bin, func(r netsim.Record) { wantRecs = append(wantRecs, r) })
+				ng := g.EmitBin(bin, func(r netsim.Record) { gotRecs = append(gotRecs, r) })
+				if nw != ng || !reflect.DeepEqual(gotRecs, wantRecs) {
+					t.Fatalf("round %d user %d bin %d: pooled EmitBin diverges (%d vs %d records)",
+						round, u.ID, bin, ng, nw)
+				}
+			}
+			g.Release()
+		}
+	}
+	// Release is nil-safe and safe on plain-constructed generators.
+	var nilG *Generator
+	nilG.Release()
+	p.Users[0].NewGenerator().Release()
+}
+
+// BenchmarkAcquireGenerator measures one full pooled
+// construct-generate-release cycle — the per-user unit of the
+// materialization sweep. Contrast with BenchmarkGenerateWeek, which
+// amortizes construction away entirely: the gap between them is the
+// setup cost pooling has to pay per user, and the allocs/op column
+// shows it paying (near) zero once the pools warm.
+func BenchmarkAcquireGenerator(b *testing.B) {
+	p := MustPopulation(Config{Users: 1, Weeks: 1, Seed: 1})
+	u := p.Users[0]
+	rows := make([][features.NumFeatures]float64, p.Cfg.BinsPerWeek())
+	u.AcquireGenerator().Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := u.AcquireGenerator()
+		g.GenerateWeek(0, rows)
+		g.Release()
+	}
+}

@@ -93,8 +93,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.BinWidth < time.Minute || c.BinWidth > 24*time.Hour {
 		return c, fmt.Errorf("trace: Config.BinWidth %v outside [1m, 24h]", c.BinWidth)
 	}
-	if week := 7 * 24 * time.Hour; week%c.BinWidth != 0 {
-		return c, fmt.Errorf("trace: Config.BinWidth %v does not divide a week", c.BinWidth)
+	// A day, not merely a week: downstream day views split each week
+	// into 7 equal windows, and a width like 1120m divides a week
+	// (9 bins) but not a day, which would silently truncate the
+	// per-day geometry. Day divisibility implies week divisibility.
+	if (24*time.Hour)%c.BinWidth != 0 {
+		return c, fmt.Errorf("trace: Config.BinWidth %v does not divide a day", c.BinWidth)
 	}
 	if c.StartMicros == 0 {
 		c.StartMicros = DefaultStartMicros

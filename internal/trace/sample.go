@@ -345,7 +345,8 @@ func (u *User) FillSeries(rows [][features.NumFeatures]float64) {
 	if len(rows) != u.Bins() {
 		panic(fmt.Sprintf("trace: FillSeries rows %d != bins %d", len(rows), u.Bins()))
 	}
-	g := u.NewGenerator()
+	g := u.AcquireGenerator()
+	defer g.Release()
 	for w := 0; w < u.cfg.Weeks; w++ {
 		lo, hi := u.WeekSlice(w)
 		g.GenerateWeek(w, rows[lo:hi])

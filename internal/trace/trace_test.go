@@ -19,12 +19,20 @@ func TestConfigValidation(t *testing.T) {
 		{Users: 1, Weeks: 0},
 		{Users: 1, Weeks: 1, BinWidth: time.Millisecond},
 		{Users: 1, Weeks: 1, BinWidth: 11 * time.Minute}, // does not divide a week
+		// Divides a week (9 bins) but not a day: the old
+		// week-divisibility check accepted this, and downstream day
+		// views truncated 9/7 to 1 bin per day, silently covering 7 of
+		// the week's 9 bins.
+		{Users: 1, Weeks: 1, BinWidth: 1120 * time.Minute},
 		{Users: 1, Weeks: 1, HeavyFraction: 1.5},
 	}
 	for i, c := range bad {
 		if _, err := NewPopulation(c); err == nil {
 			t.Errorf("config %d accepted: %+v", i, c)
 		}
+	}
+	if _, err := (Config{Users: 1, Weeks: 1, BinWidth: 1120 * time.Minute}).Normalized(); err == nil {
+		t.Error("Normalized accepted a bin width that divides a week but not a day")
 	}
 }
 

@@ -3,6 +3,9 @@ package xrand
 import (
 	"fmt"
 	"math"
+	"sync"
+
+	"repro/internal/pool"
 )
 
 // ZipfRanks is a precomputed rank-boundary view of a Zipf(n, s)
@@ -91,21 +94,82 @@ type zipfBucket struct {
 // supports should use Zipf directly.
 const maxZipfRanks = 1<<15 - 1
 
-// NewZipfRanks builds the rank table for Zipf(n, s). It panics if
-// n < 1, n > 32767, or s <= 0.
-func NewZipfRanks(n int, s float64) *ZipfRanks {
+// fastCells returns the cell-table resolution for a support of n.
+func fastCells(n int) int {
+	cells := 8 * n
+	if cells > 1<<18 {
+		cells = 1 << 18
+	}
+	return cells
+}
+
+func checkZipfRanksArgs(n int, s float64) {
 	if n < 1 || s <= 0 {
 		panic(fmt.Sprintf("xrand: NewZipfRanks requires n >= 1 and s > 0, got n=%d s=%g", n, s))
 	}
 	if n > maxZipfRanks {
 		panic(fmt.Sprintf("xrand: NewZipfRanks supports n <= %d, got %d (use NewZipf)", maxZipfRanks, n))
 	}
-	z := &ZipfRanks{zipfCore: newZipfCore(n, s), in: n}
+}
+
+// Process-wide size-bucketed free lists for the two construction
+// tables (the alloc tail of per-user generator setup). Construction
+// fully overwrites every entry it later reads — the bucket sentinel's
+// c field is the only never-written slot, and it is also never read —
+// so dirty pooled storage is safe; the table equivalence tests pin
+// pooled and fresh construction identical.
+var (
+	bucketPool    pool.Slices[zipfBucket]
+	fastCellPool  pool.Slices[int16]
+	zipfRanksPool = sync.Pool{New: func() any { return new(ZipfRanks) }}
+)
+
+// NewZipfRanks builds the rank table for Zipf(n, s). It panics if
+// n < 1, n > 32767, or s <= 0.
+func NewZipfRanks(n int, s float64) *ZipfRanks {
+	checkZipfRanksArgs(n, s)
+	z := new(ZipfRanks)
+	z.build(n, s, make([]zipfBucket, n+1), make([]int16, fastCells(n)+1))
+	return z
+}
+
+// NewZipfRanksPooled is NewZipfRanks with the struct and both tables
+// drawn from process-wide size-bucketed pools: the table it returns
+// is identical entry for entry, but a sweep constructing one per user
+// stops allocating once the pools warm. Pair with Release; a pooled
+// table left unreleased is merely garbage, never corrupt.
+func NewZipfRanksPooled(n int, s float64) *ZipfRanks {
+	checkZipfRanksArgs(n, s)
+	z := zipfRanksPool.Get().(*ZipfRanks)
+	z.build(n, s, bucketPool.Get(n+1), fastCellPool.Get(fastCells(n)+1))
+	return z
+}
+
+// Release returns the table's storage to the construction pools. The
+// table (and any variate stream drawing from it) must not be used
+// afterwards. Safe on tables from either constructor: non-pooled
+// storage simply misses the pools' capacity classes and is dropped.
+func (z *ZipfRanks) Release() {
+	if z == nil {
+		return
+	}
+	bucketPool.Put(z.buckets)
+	fastCellPool.Put(z.fast)
+	z.buckets, z.fast = nil, nil
+	zipfRanksPool.Put(z)
+}
+
+// build constructs the table in place into possibly dirty storage
+// (len(buckets) == n+1, len(fast) == fastCells(n)+1): every field of
+// z and every read entry of both tables is overwritten.
+func (z *ZipfRanks) build(n int, s float64, buckets []zipfBucket, fast []int16) {
+	z.zipfCore = newZipfCore(n, s)
+	z.in = n
 	z.delta = z.hIntegralX1 - z.hIntegralN
 	z.deltaScaled = z.delta / (1 << 53)
 	z.guard = 1e-11 * (1 + math.Abs(z.hIntegralX1) + math.Abs(z.hIntegralN))
 
-	z.buckets = make([]zipfBucket, n+1)
+	z.buckets = buckets
 	z.buckets[0].lo = math.Inf(-1)
 	for k := 1; k <= n; k++ {
 		fk := float64(k)
@@ -125,13 +189,10 @@ func NewZipfRanks(n int, s float64) *ZipfRanks {
 	}
 	z.buckets[n].lo = top + 1
 
-	cells := 8 * n
-	if cells > 1<<18 {
-		cells = 1 << 18
-	}
+	cells := fastCells(n)
 	// First pass: store the rank bucket at every cell boundary,
 	// negated (the "not pre-decided" encoding).
-	z.fast = make([]int16, cells+1)
+	z.fast = fast
 	k := n
 	for i := 0; i <= cells; i++ {
 		u := z.hIntegralN + (float64(i)/float64(cells))*z.delta
@@ -176,7 +237,6 @@ func NewZipfRanks(n int, s float64) *ZipfRanks {
 			z.fast[i] = int16(k) // whole cell accepts
 		}
 	}
-	return z
 }
 
 // N returns the support size n.

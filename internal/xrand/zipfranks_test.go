@@ -200,3 +200,58 @@ func TestZipfRanksSampleDistinct(t *testing.T) {
 		}
 	}
 }
+
+// TestZipfRanksPooledEquivalence pins pooled construction to the
+// plain one: tables built into recycled (dirty) storage must emit the
+// identical variate stream. The release-and-rebuild loop walks the
+// sizes out of order so each build inherits another size's leftover
+// bytes — exactly the dirty-reuse case the pool's safety argument
+// rests on.
+func TestZipfRanksPooledEquivalence(t *testing.T) {
+	// Warm the pools with deliberately mismatched sizes so the first
+	// builds below already see dirty storage.
+	for _, p := range zipfRanksParams {
+		NewZipfRanksPooled(p.n, p.s).Release()
+	}
+	for round := 0; round < 3; round++ {
+		for i := len(zipfRanksParams) - 1; i >= 0; i-- {
+			p := zipfRanksParams[i]
+			draws := 20000
+			if testing.Short() {
+				draws = 2000
+			}
+			ra, rb := New(uint64(p.n)*977+uint64(round)), New(uint64(p.n)*977+uint64(round))
+			fresh := NewZipfRanks(p.n, p.s)
+			pooled := NewZipfRanksPooled(p.n, p.s)
+			for d := 0; d < draws; d++ {
+				want := fresh.Next(ra)
+				got := pooled.Next(rb)
+				if got != want {
+					t.Fatalf("round %d n=%d s=%g draw %d: pooled %d != fresh %d", round, p.n, p.s, d, got, want)
+				}
+			}
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatalf("round %d n=%d s=%g: pooled table consumed a different number of uniforms", round, p.n, p.s)
+			}
+			pooled.Release()
+		}
+	}
+}
+
+// BenchmarkNewZipfRanksPooled is the pooled counterpart of
+// BenchmarkNewZipfRanks: same table sizes, construction into recycled
+// storage. The allocs/op column is the point — a warmed pool builds
+// for zero allocations, which is what flattens the per-user setup
+// tail in the 5000-user sweep.
+func BenchmarkNewZipfRanksPooled(b *testing.B) {
+	for _, n := range []int{220, 1200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			NewZipfRanksPooled(n, 1.05).Release()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				NewZipfRanksPooled(n, 1.05).Release()
+			}
+		})
+	}
+}

@@ -65,6 +65,13 @@ type Options struct {
 	// analysis.DefaultShardUsers. Ignored without a snapshot
 	// directory.
 	SnapshotShard int
+	// SnapshotWorkers > 1 makes a cold materialization build the
+	// snapshot as that many independently sealed shard parts merged
+	// into the canonical (byte-identical) store — the in-process form
+	// of the distributed build cmd/tracegen coordinates across
+	// processes. <= 1 keeps the single streaming build. Ignored
+	// without a snapshot directory.
+	SnapshotWorkers int
 	// Warnf receives non-fatal operational warnings — today, snapshot
 	// store fallbacks (stale/corrupt file rejected, unwritable
 	// directory) that would otherwise regenerate silently. Default:
@@ -85,9 +92,10 @@ type Enterprise struct {
 	once     []sync.Once
 	matrices []*features.Matrix
 
-	snapDir   string
-	snapShard int
-	warnf     func(format string, args ...any)
+	snapDir     string
+	snapShard   int
+	snapWorkers int
+	warnf       func(format string, args ...any)
 
 	wsOnce sync.Once
 	// ws is published atomically once materialization completes, so
@@ -122,9 +130,10 @@ func NewEnterprise(opts Options) (*Enterprise, error) {
 		Pop:       pop,
 		once:      make([]sync.Once, len(pop.Users)),
 		matrices:  make([]*features.Matrix, len(pop.Users)),
-		snapDir:   dir,
-		snapShard: opts.SnapshotShard,
-		warnf:     warnf,
+		snapDir:     dir,
+		snapShard:   opts.SnapshotShard,
+		snapWorkers: opts.SnapshotWorkers,
+		warnf:       warnf,
 	}, nil
 }
 
@@ -213,7 +222,7 @@ func (e *Enterprise) buildWorkspace() *analysis.Workspace {
 			// full disk, … — falls through to the in-memory build
 			// rather than failing the run, but is surfaced through
 			// Warnf so operators can tell a fallback from a warm map.
-			ws, _, err := analysis.LoadOrMaterialize(e.snapDir, key, e.snapShard,
+			ws, _, err := analysis.LoadOrMaterialize(e.snapDir, key, e.snapShard, e.snapWorkers,
 				func(stage string, werr error) {
 					e.warnf("snapshot %s fallback (%s): %v", stage, e.snapDir, werr)
 				},

@@ -61,8 +61,12 @@ func TestEnterpriseSnapshotColdWarmMatchesInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ents) != 1 || filepath.Ext(ents[0].Name()) != ".snap" {
-		t.Fatalf("cold materialize left %v in the store, want one sealed .snap", ents)
+	// A sealed store is exactly the snapshot plus its manifest
+	// sidecar (the per-shard integrity index OpenUser reads) — no
+	// temp files, no leftover parts.
+	if len(ents) != 2 || filepath.Ext(ents[0].Name()) != ".snap" ||
+		ents[1].Name() != ents[0].Name()+".manifest" {
+		t.Fatalf("cold materialize left %v in the store, want one sealed .snap plus its .manifest", ents)
 	}
 	gotF1, gotF3a, gotT3 := runTriple(t, cold)
 	if !reflect.DeepEqual(gotF1, wantF1) || !reflect.DeepEqual(gotF3a, wantF3a) || !reflect.DeepEqual(gotT3, wantT3) {
