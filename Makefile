@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke shard-smoke
+.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke shard-smoke eval-smoke
 
 all: verify
 
@@ -44,7 +44,7 @@ chaos-soak:
 # and records them as BENCH_repro.json, the perf trajectory checked
 # in with each PR.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem . ./internal/trace ./internal/xrand | tee /tmp/bench_repro.txt
+	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m . ./internal/trace ./internal/xrand | tee /tmp/bench_repro.txt
 	./scripts/bench_json.sh /tmp/bench_repro.txt scripts/seed_baseline.bench > BENCH_repro.json
 	@echo wrote BENCH_repro.json
 
@@ -53,7 +53,7 @@ bench:
 # BENCH_repro.json. Run it before a perf PR; `make bench` afterwards
 # to refresh the baseline.
 bench-check:
-	$(GO) test -run '^$$' -bench . -benchmem . ./internal/trace ./internal/xrand | tee /tmp/bench_check.txt
+	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m . ./internal/trace ./internal/xrand | tee /tmp/bench_check.txt
 	./scripts/bench_json.sh -check /tmp/bench_check.txt BENCH_repro.json
 
 # snapshot-smoke proves the on-disk workspace store end to end: the
@@ -88,6 +88,24 @@ shard-smoke:
 	/tmp/repro-tracegen -snapshot $(SHARD_SMOKE_DIR) -users 40 -weeks 2 -seed 7 -merge
 	REPRO_SNAPSHOT_DIR=$(SHARD_SMOKE_DIR) $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestEnterprise' .
 	/tmp/repro-tracegen gc -snapshot $(SHARD_SMOKE_DIR) -keep 2 -dry-run
+
+# eval-smoke proves bounded-heap streaming evaluation end to end: a
+# weighted two-worker tracegen build seals the store through the
+# splice merge (exercising CutRanges + part concatenation), the golden
+# and equivalence suites then run warm with streaming armed
+# (REPRO_STREAM_SHARD) — so every pinned output certifies the
+# shard-by-shard path — and the sweep CLI runs a whole-heap and a
+# streaming trial against the same store, printing the aggregate
+# wall-clock/peak-RSS table. CI runs this as its own job.
+EVAL_SMOKE_DIR ?= /tmp/repro-eval-smoke
+eval-smoke:
+	rm -rf $(EVAL_SMOKE_DIR)
+	$(GO) build -o /tmp/repro-tracegen ./cmd/tracegen
+	$(GO) build -o /tmp/repro-experiments ./cmd/experiments
+	/tmp/repro-tracegen -snapshot $(EVAL_SMOKE_DIR) -users 40 -weeks 2 -seed 1 -workers 2
+	REPRO_SNAPSHOT_DIR=$(EVAL_SMOKE_DIR) REPRO_STREAM_SHARD=7 $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestStreaming' .
+	printf '[{"name":"whole-heap","users":40,"seed":1,"run":"fig3a,table3"},{"name":"stream-7","users":40,"seed":1,"streamShard":7,"run":"fig3a,table3"}]' > /tmp/repro-eval-sweep.json
+	/tmp/repro-experiments -snapshot $(EVAL_SMOKE_DIR) -configs /tmp/repro-eval-sweep.json
 
 experiments:
 	$(GO) run ./cmd/experiments

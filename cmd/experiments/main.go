@@ -4,14 +4,26 @@
 // Usage:
 //
 //	experiments [-users 350] [-weeks 2] [-seed 1] [-run all|fig1,table3,...]
-//	            [-snapshot DIR] [-shard N]
+//	            [-snapshot DIR] [-shard N] [-workers N] [-shard-users N]
+//	            [-configs FILE]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
 //
 // With -snapshot, the materialized workspace is content-addressed in
 // DIR: the first run writes it (streamed in -shard-user batches, so
-// very large populations stay within laptop memory) and every later
-// run with the same parameters maps it back and skips generation
-// entirely.
+// very large populations stay within laptop memory; -workers > 1
+// builds that many sealed shard parts concurrently and splices them)
+// and every later run with the same parameters maps it back and skips
+// generation entirely. -shard-users arms bounded-heap streaming
+// evaluation over the mapped store: analyses iterate the population
+// in shards of that many users, so peak RSS tracks the shard size
+// instead of the population, with bit-identical results.
+//
+// -configs turns the command into a multi-config sweep driver: FILE
+// holds a JSON array of trials (population, seed, bin width, stream
+// shard, experiment list, repeat count), each executed against the
+// shared -snapshot store, with per-trial wall-clock and peak-RSS
+// aggregated into a closing table. This is the harness behind the
+// bounded-heap measurements in EXPERIMENTS.md.
 //
 // Each experiment prints a textual rendering of the corresponding
 // paper artifact; EXPERIMENTS.md records the expected shapes. The
@@ -20,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +55,9 @@ func main() {
 	binMinutes := flag.Int("bin", 15, "aggregation window in minutes (5 or 15 in the paper)")
 	snapshotDir := flag.String("snapshot", "", "workspace snapshot directory (warm runs skip generation; empty disables)")
 	shard := flag.Int("shard", 0, "users per shard when cold-building a snapshot (0 = default)")
+	workers := flag.Int("workers", 0, "concurrent part builders for a cold snapshot build (<= 1 = single streaming pass)")
+	shardUsers := flag.Int("shard-users", 0, "users per evaluation shard: arms bounded-heap streaming analyses over the mapped snapshot (0 = whole-heap)")
+	configs := flag.String("configs", "", "JSON sweep file: run each trial config against the shared -snapshot store and print an aggregate table")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -54,12 +70,30 @@ func main() {
 	if *chaos {
 		*run += ",chaos"
 	}
-	os.Exit(realMain(*users, *weeks, *seed, *run, *binMinutes, *snapshotDir, *shard, *cpuProfile, *memProfile, *traceFile))
+	os.Exit(realMain(mainOpts{
+		users: *users, weeks: *weeks, seed: *seed, run: *run,
+		binMinutes: *binMinutes, snapshotDir: *snapshotDir,
+		shard: *shard, workers: *workers, shardUsers: *shardUsers,
+		configs:    *configs,
+		cpuProfile: *cpuProfile, memProfile: *memProfile, traceFile: *traceFile,
+	}))
 }
 
-func realMain(users, weeks int, seed uint64, run string, binMinutes int, snapshotDir string, shard int, cpuProfile, memProfile, traceFile string) int {
-	if cpuProfile != "" {
-		f, err := os.Create(cpuProfile)
+type mainOpts struct {
+	users, weeks               int
+	seed                       uint64
+	run                        string
+	binMinutes                 int
+	snapshotDir                string
+	shard, workers, shardUsers int
+	configs                    string
+	cpuProfile, memProfile     string
+	traceFile                  string
+}
+
+func realMain(o mainOpts) int {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
 		if err != nil {
 			log.Printf("creating cpu profile: %v", err)
 			return 1
@@ -71,8 +105,8 @@ func realMain(users, weeks int, seed uint64, run string, binMinutes int, snapsho
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if traceFile != "" {
-		f, err := os.Create(traceFile)
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
 		if err != nil {
 			log.Printf("creating trace file: %v", err)
 			return 1
@@ -84,9 +118,9 @@ func realMain(users, weeks int, seed uint64, run string, binMinutes int, snapsho
 		}
 		defer rtrace.Stop()
 	}
-	if memProfile != "" {
+	if o.memProfile != "" {
 		defer func() {
-			f, err := os.Create(memProfile)
+			f, err := os.Create(o.memProfile)
 			if err != nil {
 				log.Printf("creating mem profile: %v", err)
 				return
@@ -98,35 +132,52 @@ func realMain(users, weeks int, seed uint64, run string, binMinutes int, snapsho
 			}
 		}()
 	}
+	if o.configs != "" {
+		return runSweep(o)
+	}
+	trial := trialConfig{
+		Users: o.users, Weeks: o.weeks, Seed: o.seed,
+		BinMinutes: o.binMinutes, StreamShard: o.shardUsers, Run: o.run,
+	}
+	_, _, code := runTrial(trial, o)
+	return code
+}
 
-	if weeks < 2 {
+// runTrial builds one enterprise and runs its experiment list,
+// returning the post-materialize wall-clock and the process peak RSS
+// observed across the analyses.
+func runTrial(trial trialConfig, o mainOpts) (elapsed time.Duration, peakRSS int64, code int) {
+	if trial.Weeks < 2 {
 		// The runners all use the week-0-train / week-1-test split;
 		// without this guard a 1-week enterprise panics deep in
 		// WeekRange instead of explaining itself.
-		log.Printf("need -weeks >= 2 (train week + test week), got %d", weeks)
-		return 1
+		log.Printf("need weeks >= 2 (train week + test week), got %d", trial.Weeks)
+		return 0, 0, 1
 	}
 	start := time.Now()
 	ent, err := repro.NewEnterprise(repro.Options{
-		Users:         users,
-		Weeks:         weeks,
-		Seed:          seed,
-		BinWidth:      time.Duration(binMinutes) * time.Minute,
-		SnapshotDir:   snapshotDir,
-		SnapshotShard: shard,
+		Users:           trial.Users,
+		Weeks:           trial.Weeks,
+		Seed:            trial.Seed,
+		BinWidth:        time.Duration(trial.BinMinutes) * time.Minute,
+		SnapshotDir:     o.snapshotDir,
+		SnapshotShard:   o.shard,
+		SnapshotWorkers: o.workers,
+		StreamShard:     trial.StreamShard,
 	})
 	if err != nil {
 		log.Printf("building enterprise: %v", err)
-		return 1
+		return 0, 0, 1
 	}
-	fmt.Printf("# enterprise: %d users, %d weeks, %d-minute bins, seed %d\n",
-		users, weeks, binMinutes, seed)
+	defer ent.Close()
+	fmt.Printf("# enterprise: %d users, %d weeks, %d-minute bins, seed %d, stream shard %d\n",
+		trial.Users, trial.Weeks, trial.BinMinutes, trial.Seed, trial.StreamShard)
 	ent.Materialize()
 	fmt.Printf("# traces materialized in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	cfg := repro.DefaultExperimentConfig()
 	wanted := map[string]bool{}
-	for _, id := range strings.Split(run, ",") {
+	for _, id := range strings.Split(trial.Run, ",") {
 		wanted[strings.TrimSpace(id)] = true
 	}
 	all := wanted["all"]
@@ -152,6 +203,7 @@ func realMain(users, weeks int, seed uint64, run string, binMinutes int, snapsho
 		{id: "fig5b", fn: func() (fmt.Stringer, error) { return repro.Fig5b(ent, cfg) }},
 		{id: "chaos", notInAll: true, fn: func() (fmt.Stringer, error) { return repro.Chaos(ent, cfg) }},
 	}
+	evalStart := time.Now()
 	ran := 0
 	for _, ex := range exps {
 		if !wanted[ex.id] && (!all || ex.notInAll) {
@@ -161,14 +213,120 @@ func realMain(users, weeks int, seed uint64, run string, binMinutes int, snapsho
 		res, err := ex.fn()
 		if err != nil {
 			log.Printf("%s: %v", ex.id, err)
-			return 1
+			return 0, 0, 1
 		}
 		fmt.Printf("== %s (%v) ==\n%s\n", ex.id, time.Since(t0).Round(time.Millisecond), res)
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched -run %q\n", run)
-		return 2
+		fmt.Fprintf(os.Stderr, "no experiments matched -run %q\n", trial.Run)
+		return 0, 0, 2
+	}
+	return time.Since(evalStart), peakRSSBytes(), 0
+}
+
+// trialConfig is one entry of a -configs sweep file.
+type trialConfig struct {
+	// Name labels the trial in the aggregate table; defaults to a
+	// rendering of the parameters.
+	Name string `json:"name"`
+	// Users, Weeks, Seed and BinMinutes define the enterprise exactly
+	// as the corresponding single-run flags do.
+	Users      int    `json:"users"`
+	Weeks      int    `json:"weeks"`
+	Seed       uint64 `json:"seed"`
+	BinMinutes int    `json:"bin"`
+	// StreamShard arms bounded-heap streaming evaluation (0 =
+	// whole-heap), the per-trial form of -shard-users.
+	StreamShard int `json:"streamShard"`
+	// Run selects experiments like the -run flag; empty means "all".
+	Run string `json:"run"`
+	// Runs repeats the trial (>= 1); later repetitions ride the warm
+	// snapshot, so their wall-clock isolates evaluation cost.
+	Runs int `json:"runs"`
+}
+
+// runSweep executes every trial of a -configs file against the shared
+// snapshot store and prints the aggregate table. Trials run in-process
+// and sequentially — the point is comparable peak-RSS readings, which
+// interleaved trials would pollute.
+func runSweep(o mainOpts) int {
+	raw, err := os.ReadFile(o.configs)
+	if err != nil {
+		log.Printf("reading sweep configs: %v", err)
+		return 1
+	}
+	var trials []trialConfig
+	if err := json.Unmarshal(raw, &trials); err != nil {
+		log.Printf("parsing sweep configs %s: %v", o.configs, err)
+		return 1
+	}
+	if len(trials) == 0 {
+		log.Printf("sweep file %s holds no trials", o.configs)
+		return 1
+	}
+	type row struct {
+		trial   trialConfig
+		elapsed []time.Duration
+		peak    []int64
+	}
+	rows := make([]row, 0, len(trials))
+	for i, trial := range trials {
+		if trial.Weeks == 0 {
+			trial.Weeks = 2
+		}
+		if trial.BinMinutes == 0 {
+			trial.BinMinutes = 15
+		}
+		if trial.Run == "" {
+			trial.Run = "all"
+		}
+		if trial.Runs < 1 {
+			trial.Runs = 1
+		}
+		if trial.Name == "" {
+			trial.Name = fmt.Sprintf("u%d-b%dm-s%d-shard%d", trial.Users, trial.BinMinutes, trial.Seed, trial.StreamShard)
+		}
+		r := row{trial: trial}
+		for rep := 0; rep < trial.Runs; rep++ {
+			fmt.Printf("--- trial %d/%d %q run %d/%d ---\n", i+1, len(trials), trial.Name, rep+1, trial.Runs)
+			resetPeakRSS()
+			elapsed, peak, code := runTrial(trial, o)
+			if code != 0 {
+				return code
+			}
+			r.elapsed = append(r.elapsed, elapsed)
+			r.peak = append(r.peak, peak)
+		}
+		rows = append(rows, r)
+	}
+	fmt.Printf("# sweep aggregate (%d trials)\n", len(rows))
+	fmt.Printf("%-28s %9s %6s %5s %12s %10s\n", "config", "users", "shard", "runs", "eval-elapsed", "peak-rss")
+	for _, r := range rows {
+		// Report the repetition with the smallest wall-clock — the
+		// warm-store steady state the sweep is after.
+		best := 0
+		for i := range r.elapsed {
+			if r.elapsed[i] < r.elapsed[best] {
+				best = i
+			}
+		}
+		fmt.Printf("%-28s %9d %6d %5d %12v %10s\n",
+			r.trial.Name, r.trial.Users, r.trial.StreamShard, len(r.elapsed),
+			r.elapsed[best].Round(time.Millisecond), fmtBytes(r.peak[best]))
 	}
 	return 0
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b <= 0:
+		return "n/a"
+	case b < 1<<20:
+		return fmt.Sprintf("%dKiB", b>>10)
+	case b < 10<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	}
 }

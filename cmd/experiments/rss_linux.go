@@ -1,0 +1,48 @@
+//go:build linux
+
+package main
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// peakRSSBytes reads the process high-water resident set (VmHWM) from
+// /proc/self/status. Because mapped snapshot pages count toward it,
+// this is the honest measure of what bounded-heap streaming saves —
+// Go heap metrics never see page-cache residency. Returns 0 when the
+// counter is unavailable.
+func peakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// resetPeakRSS rearms the VmHWM high-water mark ("5" in
+// /proc/self/clear_refs) so each sweep trial's peak reflects that
+// trial alone rather than the largest predecessor. Best-effort: on
+// kernels without the knob the peaks are simply cumulative.
+func resetPeakRSS() {
+	os.WriteFile("/proc/self/clear_refs", []byte("5"), 0o200)
+}

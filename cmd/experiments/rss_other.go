@@ -1,0 +1,9 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes has no portable source outside Linux; the sweep table
+// prints n/a.
+func peakRSSBytes() int64 { return 0 }
+
+func resetPeakRSS() {}

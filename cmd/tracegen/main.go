@@ -166,7 +166,7 @@ func writeSnapshot(pop *trace.Population, dir string, shard, workers int) {
 		log.Fatalf("tracegen: snapshot key: %v", err)
 	}
 	start := time.Now()
-	ws, warm, err := analysis.LoadOrMaterialize(dir, key, shard, workers,
+	ws, warm, err := analysis.LoadOrMaterialize(dir, key, shard, workers, pop.CostWeights(),
 		func(stage string, werr error) {
 			log.Printf("tracegen: snapshot %s fallback: %v", stage, werr)
 		},

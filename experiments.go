@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/features"
@@ -268,17 +269,19 @@ func evalPoliciesWS(e *Enterprise, cfg ExperimentConfig, h core.Heuristic, withA
 	key := fmt.Sprintf("evalPolicies/%d/%d/%d/%s/%d/%t",
 		int(cfg.Feature), cfg.TrainWeek, cfg.TestWeek, h.Name(), cfg.SweepPoints, withAttack)
 	v, err := ws.Memo(key, func() (any, error) {
-		test := ws.Raw(cfg.Feature, cfg.TestWeek)
+		// Streaming workspaces never materialize the whole test
+		// population: EvaluateSharded scores the mapped columns shard
+		// by shard instead.
+		var test [][]float64
+		if !ws.Streaming() {
+			test = ws.Raw(cfg.Feature, cfg.TestWeek)
+		}
 		sweep := ws.Sweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
-		var overlay [][]float64
+		var shared []float64
 		if withAttack {
 			// Every user has the same bin count, so one overlay serves
 			// the whole population.
-			shared := sweepOverlay(ws.BinsPerWeek(), sweep)
-			overlay = make([][]float64, len(test))
-			for u := range overlay {
-				overlay[u] = shared
-			}
+			shared = sweepOverlay(ws.BinsPerWeek(), sweep)
 		}
 		sweepKey := fmt.Sprintf("sp%d", cfg.SweepPoints)
 		pols := Policies(h)
@@ -289,13 +292,25 @@ func evalPoliciesWS(e *Enterprise, cfg ExperimentConfig, h core.Heuristic, withA
 			if err != nil {
 				return fmt.Errorf("repro: policy %s: %w", pol.Name(), err)
 			}
-			res, err := core.EvaluatePolicy(core.EvalInput{
-				Test:             test,
-				Attack:           overlay,
-				AttackMagnitudes: sweep,
-				Policy:           pol,
-				Assignment:       asn,
-			})
+			var res *core.EvalResult
+			if ws.Streaming() {
+				res, err = ws.EvaluateSharded(cfg.Feature, cfg.TestWeek, asn, shared, 0)
+			} else {
+				var overlay [][]float64
+				if shared != nil {
+					overlay = make([][]float64, len(test))
+					for u := range overlay {
+						overlay[u] = shared
+					}
+				}
+				res, err = core.EvaluatePolicy(core.EvalInput{
+					Test:             test,
+					Attack:           overlay,
+					AttackMagnitudes: sweep,
+					Policy:           pol,
+					Assignment:       asn,
+				})
+			}
 			if err != nil {
 				return fmt.Errorf("repro: policy %s: %w", pol.Name(), err)
 			}
@@ -500,7 +515,6 @@ func Fig4a(e *Enterprise, cfg ExperimentConfig) (*Fig4aResult, error) {
 	users := ws.Users()
 	sweep := ws.Sweep(cfg.Feature, cfg.TrainWeek, cfg.SweepPoints)
 	res := &Fig4aResult{Sizes: append([]float64(nil), sweep...)}
-	days := ws.DaySorted(cfg.Feature, cfg.TestWeek)
 	attackDays := []int{1, 2, 3} // Tue, Wed, Thu of the test week
 
 	// The three assignments are cached in the workspace. Percentile
@@ -513,19 +527,38 @@ func Fig4a(e *Enterprise, cfg ExperimentConfig) (*Fig4aResult, error) {
 			return nil, err
 		}
 		key := fmt.Sprintf("fig4a-crit/%d/%d/%d/%s", int(cfg.Feature), cfg.TrainWeek, cfg.TestWeek, pol.Name())
-		v, _ := ws.Memo(key, func() (any, error) {
+		v, err := ws.Memo(key, func() (any, error) {
 			perDay := make([][]float64, len(attackDays))
-			for d, day := range attackDays {
-				crit := make([]float64, users)
-				for u := 0; u < users; u++ {
-					col := days[u][day]
-					crit[u] = minAlarmSize(col[len(col)-1], asn.Thresholds[u])
+			for d := range perDay {
+				perDay[d] = make([]float64, users)
+			}
+			fill := func(days [][][]float64, base int) {
+				for u, userDays := range days {
+					for d, day := range attackDays {
+						col := userDays[day]
+						perDay[d][base+u] = minAlarmSize(col[len(col)-1], asn.Thresholds[base+u])
+					}
 				}
-				sort.Float64s(crit)
-				perDay[d] = crit
+			}
+			if ws.Streaming() {
+				err := ws.StreamShards(0, func(view *analysis.Workspace, lo, hi int) error {
+					fill(view.DaySorted(cfg.Feature, cfg.TestWeek), lo)
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				fill(ws.DaySorted(cfg.Feature, cfg.TestWeek), 0)
+			}
+			for d := range perDay {
+				sort.Float64s(perDay[d])
 			}
 			return perDay, nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		res.PolicyNames = append(res.PolicyNames, pol.Name())
 		crits = append(crits, v.([][]float64))
 	}
@@ -621,22 +654,38 @@ type Fig4bResult struct {
 // evades detection with probability EvadeProb.
 func Fig4b(e *Enterprise, cfg ExperimentConfig) (*Fig4bResult, error) {
 	ws := e.workspace()
-	testDists := ws.Dists(cfg.Feature, cfg.TestWeek)
+	var testDists []*stats.Empirical
+	if !ws.Streaming() {
+		testDists = ws.Dists(cfg.Feature, cfg.TestWeek)
+	}
 	res := &Fig4bResult{}
 	for _, pol := range Policies(core.Percentile{Q: 0.99}) {
 		asn, err := ws.Assignment(cfg.Feature, cfg.TrainWeek, pol, nil, "")
 		if err != nil {
 			return nil, err
 		}
-		hidden := make([]float64, len(testDists))
-		err = par.ForEachErr(len(hidden), 0, func(u int) error {
-			h, err := attack.HiddenTraffic(testDists[u], asn.Thresholds[u], cfg.EvadeProb)
-			if err != nil {
-				return err
-			}
-			hidden[u] = h
-			return nil
-		})
+		hidden := make([]float64, ws.Users())
+		if ws.Streaming() {
+			err = ws.StreamShards(0, func(view *analysis.Workspace, lo, hi int) error {
+				for u, d := range view.Dists(cfg.Feature, cfg.TestWeek) {
+					h, err := attack.HiddenTraffic(d, asn.Thresholds[lo+u], cfg.EvadeProb)
+					if err != nil {
+						return err
+					}
+					hidden[lo+u] = h
+				}
+				return nil
+			})
+		} else {
+			err = par.ForEachErr(len(hidden), 0, func(u int) error {
+				h, err := attack.HiddenTraffic(testDists[u], asn.Thresholds[u], cfg.EvadeProb)
+				if err != nil {
+					return err
+				}
+				hidden[u] = h
+				return nil
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -697,6 +746,12 @@ type Fig5Result struct {
 // attacked observed values (the same g+a sums a window walk would
 // compare), after which each user's ⟨FP, 1−FN⟩ point is three binary
 // searches instead of two full passes over the week per policy.
+//
+// fig5 deliberately stays on the whole-heap path even when streaming
+// is armed: SplitOverlay's decomposition is memoized population-wide
+// and its output (two sorted copies per user) dominates the working
+// set regardless of how the inputs are read, so sharding the reads
+// would not bound peak RSS.
 func fig5(e *Enterprise, cfg ExperimentConfig, groupings [2]core.Grouping) (*Fig5Result, error) {
 	f := features.Distinct // the paper's Fig 5 feature
 	ws := e.workspace()

@@ -77,7 +77,7 @@ func TestCrossProcessShardBuild(t *testing.T) {
 
 	// (b) in-process distributed build: three part writers + merge.
 	distDir := t.TempDir()
-	ws, err := MaterializeDistributed(distDir, key, 0, 3, gen)
+	ws, err := MaterializeDistributed(distDir, key, 0, 3, pop.CostWeights(), gen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,12 +148,12 @@ func TestLoadOrMaterializeWorkers(t *testing.T) {
 		pop.Users[u].FillSeries(rows)
 	}
 	singleDir, distDir := t.TempDir(), t.TempDir()
-	ws, _, err := LoadOrMaterialize(singleDir, key, 0, 0, nil, gen)
+	ws, _, err := LoadOrMaterialize(singleDir, key, 0, 0, nil, nil, gen)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ws.Close()
-	ws, warm, err := LoadOrMaterialize(distDir, key, 5, 4, nil, gen)
+	ws, warm, err := LoadOrMaterialize(distDir, key, 5, 4, pop.CostWeights(), nil, gen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestLoadOrMaterializeWorkers(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("workers>1 cold build bytes differ from single-pass build")
 	}
-	if ws, warm, err = LoadOrMaterialize(distDir, key, 5, 4, nil, gen); err != nil || !warm {
+	if ws, warm, err = LoadOrMaterialize(distDir, key, 5, 4, nil, nil, gen); err != nil || !warm {
 		t.Fatalf("second call: warm=%v err=%v", warm, err)
 	}
 	ws.Close()

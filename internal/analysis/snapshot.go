@@ -130,7 +130,12 @@ func Load(dir string, key snapshot.Key) (*Workspace, error) {
 // streaming pass (MaterializeSharded), > 1 fans contiguous user
 // ranges over that many in-process part builders and merges
 // (MaterializeDistributed) — byte-identical output either way.
-func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers, workers int, warn func(stage string, err error), generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
+// weights optionally supplies per-user generation cost (one
+// non-negative weight per user) for load-balanced worker ranges; nil
+// (or a wrong-length slice) means equal user counts. Only the range
+// boundaries depend on it — the sealed store is byte-identical for
+// any weights.
+func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers, workers int, weights []float64, warn func(stage string, err error), generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
 	ws, lerr := Load(dir, key)
 	if lerr == nil {
 		return ws, true, nil
@@ -139,7 +144,7 @@ func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers, workers int, wa
 		warn("load", lerr)
 	}
 	if workers > 1 {
-		ws, err = MaterializeDistributed(dir, key, shardUsers, workers, generate)
+		ws, err = MaterializeDistributed(dir, key, shardUsers, workers, weights, generate)
 	} else {
 		ws, err = MaterializeSharded(dir, key, shardUsers, generate)
 	}
@@ -197,22 +202,30 @@ func BuildShardRange(dir string, key snapshot.Key, lo, hi, shardUsers int, gener
 // snapshot and manifest both — is byte-identical to MaterializeSharded
 // over the same generator (the cross-process determinism tests pin
 // all build strategies to each other).
-func MaterializeDistributed(dir string, key snapshot.Key, shardUsers, workers int, generate func(u int, rows [][features.NumFeatures]float64)) (*Workspace, error) {
+//
+// weights optionally supplies per-user generation cost for the range
+// cuts (snapshot.CutRanges): with a heavy-tail population, equal user
+// counts leave the worker that drew the heavy users ~1.6× behind its
+// siblings, while weight-balanced ranges even the wall-clock out. nil
+// or wrong-length weights fall back to equal counts. The cut never
+// changes the sealed bytes, only which worker produces which part.
+func MaterializeDistributed(dir string, key snapshot.Key, shardUsers, workers int, weights []float64, generate func(u int, rows [][features.NumFeatures]float64)) (*Workspace, error) {
 	workers = par.Workers(workers, key.Users)
 	if workers < 2 {
 		return MaterializeSharded(dir, key, shardUsers, generate)
 	}
-	// Contiguous near-equal ranges, one part per worker.
+	if len(weights) != key.Users {
+		weights = make([]float64, key.Users) // zero total → equal counts
+	}
+	cuts := snapshot.CutRanges(weights, workers)
 	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for i := 0; i < workers; i++ {
-		lo := i * key.Users / workers
-		hi := (i + 1) * key.Users / workers
+	errs := make([]error, len(cuts))
+	for i, r := range cuts {
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
 			errs[i] = BuildShardRange(dir, key, lo, hi, shardUsers, generate)
-		}(i, lo, hi)
+		}(i, r[0], r[1])
 	}
 	wg.Wait()
 	for _, err := range errs {

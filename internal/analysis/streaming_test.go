@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+)
+
+// streamedPair materializes one sharded store and maps it twice: a
+// whole-heap workspace and a streaming one armed with shardUsers.
+// Both read the same sealed bytes, so any divergence is the streaming
+// layer's fault alone.
+func streamedPair(t *testing.T, users int, seed uint64, shardUsers int) (whole, streamed *Workspace) {
+	t.Helper()
+	pop, key := popAndKey(t, users, 2, seed, 6*time.Hour)
+	dir := t.TempDir()
+	gen := func(u int, rows [][features.NumFeatures]float64) {
+		pop.Users[u].FillSeries(rows)
+	}
+	ws, err := MaterializeSharded(dir, key, 0, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ws.Close() })
+	streamed, err = Load(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { streamed.Close() })
+	streamed.SetStreamShard(shardUsers)
+	if !streamed.Streaming() {
+		t.Fatal("SetStreamShard did not arm streaming on a mapped workspace")
+	}
+	return ws, streamed
+}
+
+// TestStreamingMatchesWholeHeap is the tentpole's equivalence pin:
+// every population-wide artifact computed through bounded shards must
+// be bit-identical — not close — to the whole-heap computation, for
+// shard sizes bracketing the geometry (single user, odd size that
+// leaves a ragged tail, larger than the population) and for a
+// heavy-tail seed on each.
+func TestStreamingMatchesWholeHeap(t *testing.T) {
+	const users = 37
+	policies := []core.Policy{
+		{Heuristic: core.Percentile{Q: 0.99}, Grouping: core.Homogeneous{}},
+		{Heuristic: core.Percentile{Q: 0.99}, Grouping: core.FullDiversity{}},
+		{Heuristic: core.UtilityOptimal{W: 0.4}, Grouping: core.PartialDiversity{NumGroups: 8}},
+		// No bounded fold for MeanSigma over merged groups: the
+		// streaming path must fall back to the whole-heap configure
+		// and still agree.
+		{Heuristic: core.MeanSigma{K: 3}, Grouping: core.Homogeneous{}},
+	}
+	for _, tc := range []struct {
+		seed  uint64
+		shard int
+	}{
+		{53, 1}, {53, 7}, {87, 7}, {87, 128},
+	} {
+		whole, streamed := streamedPair(t, users, tc.seed, tc.shard)
+		f, trainWeek, testWeek := features.TCP, 0, 1
+
+		wt, err := whole.TailStats(f, trainWeek, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := streamed.TailStats(f, trainWeek, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wt, st) {
+			t.Fatalf("seed %d shard %d: tail stats diverge", tc.seed, tc.shard)
+		}
+		wsw, ssw := whole.Sweep(f, trainWeek, 24), streamed.Sweep(f, trainWeek, 24)
+		for i := range wsw {
+			if math.Float64bits(wsw[i]) != math.Float64bits(ssw[i]) {
+				t.Fatalf("seed %d shard %d: sweep[%d] %v != %v", tc.seed, tc.shard, i, ssw[i], wsw[i])
+			}
+		}
+		for _, pol := range policies {
+			wa, err := whole.Assignment(f, trainWeek, pol, wsw, "sp24")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, err := streamed.Assignment(f, trainWeek, pol, ssw, "sp24")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wa, sa) {
+				t.Fatalf("seed %d shard %d %s: assignments diverge", tc.seed, tc.shard, pol.Name())
+			}
+			shared := make([]float64, whole.BinsPerWeek())
+			for i := range shared {
+				if i%4 == 3 {
+					shared[i] = wsw[i%len(wsw)]
+				}
+			}
+			for _, overlay := range [][]float64{nil, shared} {
+				attack := make([][]float64, users)
+				if overlay != nil {
+					for u := range attack {
+						attack[u] = overlay
+					}
+				}
+				want, err := core.EvaluatePolicy(core.EvalInput{
+					Test:       whole.Raw(f, testWeek),
+					Attack:     attack,
+					Policy:     pol,
+					Assignment: wa,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := streamed.EvaluateSharded(f, testWeek, sa, overlay, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed %d shard %d %s overlay=%v: evaluations diverge",
+						tc.seed, tc.shard, pol.Name(), overlay != nil)
+				}
+			}
+		}
+	}
+}
+
+// TestViewRangeIsBitIdenticalWindow pins that a shard view serves the
+// exact slices the parent serves for the same users — the property the
+// whole streaming contract rests on — and that views reject nonsense
+// ranges loudly.
+func TestViewRangeIsBitIdenticalWindow(t *testing.T) {
+	whole, streamed := streamedPair(t, 19, 53, 7)
+	view := streamed.ViewRange(5, 12)
+	if view.Users() != 7 {
+		t.Fatalf("view users = %d, want 7", view.Users())
+	}
+	for week := 0; week < whole.Weeks(); week++ {
+		for _, f := range features.All() {
+			pr, ps := whole.Raw(f, week), whole.Sorted(f, week)
+			vr, vs := view.Raw(f, week), view.Sorted(f, week)
+			for u := 0; u < view.Users(); u++ {
+				if !reflect.DeepEqual(vr[u], pr[5+u]) || !reflect.DeepEqual(vs[u], ps[5+u]) {
+					t.Fatalf("%s week %d: view user %d diverges from parent user %d", f, week, u, 5+u)
+				}
+			}
+			pd, vd := whole.DaySorted(f, week), view.DaySorted(f, week)
+			for u := 0; u < view.Users(); u++ {
+				if !reflect.DeepEqual(vd[u], pd[5+u]) {
+					t.Fatalf("%s week %d: view day columns for user %d diverge", f, week, u)
+				}
+			}
+		}
+	}
+	for _, r := range [][2]int{{-1, 3}, {3, 3}, {5, 99}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ViewRange(%d, %d) did not panic", r[0], r[1])
+				}
+			}()
+			streamed.ViewRange(r[0], r[1])
+		}()
+	}
+}
+
+// TestStreamShardsCoversEveryUserConcurrently runs the fold with more
+// workers than shards on shared state — the -race guard for the
+// parallel fan-out — and checks exact disjoint tiling of [0, users).
+func TestStreamShardsCoversEveryUserConcurrently(t *testing.T) {
+	_, streamed := streamedPair(t, 23, 87, 5)
+	seen := make([]int, 23)
+	var mu sync.Mutex
+	err := streamed.StreamShards(8, func(view *Workspace, lo, hi int) error {
+		if view.Users() != hi-lo {
+			t.Errorf("view covers %d users for range [%d, %d)", view.Users(), lo, hi)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for u := lo; u < hi; u++ {
+			seen[u]++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, n := range seen {
+		if n != 1 {
+			t.Fatalf("user %d visited %d times", u, n)
+		}
+	}
+}
+
+// TestStreamingWorkspaceServesIdenticalViews runs the full workspace
+// equivalence battery (matrices, raw/sorted/day columns, tails,
+// distributions) over a streaming-armed mapping vs a plain one.
+func TestStreamingWorkspaceServesIdenticalViews(t *testing.T) {
+	whole, streamed := streamedPair(t, 16, 53, 3)
+	requireEqualWorkspaces(t, streamed, whole)
+}

@@ -70,6 +70,19 @@ type Workspace struct {
 	// columns and DaySorted its day views, instead of re-deriving
 	// either from the matrices.
 	snap *snapshot.Snapshot
+
+	// userBase offsets this workspace's local user indices into snap:
+	// a ViewRange shard over users [lo, hi) has userBase == lo and
+	// users == hi-lo, so local user u is snapshot record userBase+u.
+	// Zero for full workspaces.
+	userBase int
+
+	// streamShard > 0 turns the population-wide analyses (TailStats,
+	// Sweep, Assignment, EvaluateSharded and the runners above them)
+	// into shard-by-shard streams over ViewRange views of at most this
+	// many users, releasing each shard's mapped pages after use. Only
+	// meaningful on snapshot-backed workspaces; see streaming.go.
+	streamShard int
 }
 
 // block is the columnar view of one (feature, week): every user's
@@ -275,11 +288,11 @@ func (w *Workspace) ensureBlock(f features.Feature, week int) *block {
 				emp:    make([]stats.Empirical, w.users),
 			}
 			par.ForEach(w.users, 0, func(u int) {
-				s := w.snap.SortedColumn(u, week, int(f))
+				s := w.snap.SortedColumn(w.userBase+u, week, int(f))
 				if err := b.emp[u].AdoptSorted(s); err != nil {
 					// The checksum passed, so this is a logically
 					// malformed writer, not disk corruption.
-					panic(fmt.Sprintf("analysis: snapshot user %d %s week %d: %v", u, f, week, err))
+					panic(fmt.Sprintf("analysis: snapshot user %d %s week %d: %v", w.userBase+u, f, week, err))
 				}
 				b.sorted[u] = s
 				b.dists[u] = &b.emp[u]
@@ -365,8 +378,25 @@ func (w *Workspace) Close() error {
 func (w *Workspace) TailStats(f features.Feature, week int, q float64) ([]float64, error) {
 	key := fmt.Sprintf("tail/%d/%d/%g", int(f), week, q)
 	v, err := w.Memo(key, func() (any, error) {
-		sorted := w.Sorted(f, week)
 		out := make([]float64, w.users)
+		if w.Streaming() {
+			err := w.StreamShards(0, func(view *Workspace, lo, hi int) error {
+				sorted := view.Sorted(f, week)
+				for u := range sorted {
+					t, err := stats.QuantileSorted(sorted[u], q)
+					if err != nil {
+						return fmt.Errorf("analysis: user %d %s: %w", lo+u, f, err)
+					}
+					out[lo+u] = t
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		sorted := w.Sorted(f, week)
 		err := par.ForEachErr(w.users, 0, func(u int) error {
 			t, err := stats.QuantileSorted(sorted[u], q)
 			if err != nil {
@@ -394,12 +424,36 @@ func (w *Workspace) TailStats(f features.Feature, week int, q float64) ([]float6
 func (w *Workspace) Sweep(f features.Feature, trainWeek, n int) []float64 {
 	key := fmt.Sprintf("sweep/%d/%d/%d", int(f), trainWeek, n)
 	v, _ := w.Memo(key, func() (any, error) {
-		sorted := w.Sorted(f, trainWeek)
 		var max float64
-		for u := 0; u < w.users; u++ {
-			if col := sorted[u]; len(col) > 0 {
-				if v := col[len(col)-1]; v > max {
-					max = v
+		if w.Streaming() {
+			// Max is a fold over disjoint shard maxima; the mutex only
+			// orders the per-shard folds, the result is order-free.
+			var mu sync.Mutex
+			err := w.StreamShards(0, func(view *Workspace, lo, hi int) error {
+				sorted := view.Sorted(f, trainWeek)
+				local := 0.0
+				for _, col := range sorted {
+					if len(col) > 0 && col[len(col)-1] > local {
+						local = col[len(col)-1]
+					}
+				}
+				mu.Lock()
+				if local > max {
+					max = local
+				}
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			sorted := w.Sorted(f, trainWeek)
+			for u := 0; u < w.users; u++ {
+				if col := sorted[u]; len(col) > 0 {
+					if v := col[len(col)-1]; v > max {
+						max = v
+					}
 				}
 			}
 		}
@@ -423,6 +477,17 @@ func (w *Workspace) Sweep(f features.Feature, trainWeek, n int) []float64 {
 func (w *Workspace) Assignment(f features.Feature, trainWeek int, pol core.Policy, attack []float64, sweepKey string) (*core.Assignment, error) {
 	key := fmt.Sprintf("asn/%d/%d/%s/%s", int(f), trainWeek, pol.Name(), sweepKey)
 	v, err := w.Memo(key, func() (any, error) {
+		if w.Streaming() {
+			asn, ok, err := w.streamAssignment(f, trainWeek, pol, attack)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return asn, nil
+			}
+			// Not streamable (the heuristic has no bounded fold over
+			// merged groups): fall through to the whole-heap configure.
+		}
 		in := core.ConfigureInput{Train: w.Dists(f, trainWeek), Policy: pol, Attack: attack}
 		if _, ok := pol.Heuristic.(core.FrontierScorer); ok && len(attack) > 0 {
 			fronts, err := w.Frontiers(f, trainWeek, attack, sweepKey)
@@ -491,11 +556,11 @@ func (w *Workspace) DaySorted(f features.Feature, week int) [][][]float64 {
 			// the writer produced, not that the writer was right).
 			out := make([][][]float64, w.users)
 			par.ForEach(w.users, 0, func(u int) {
-				days := w.snap.DayColumns(u, week, int(f))
+				days := w.snap.DayColumns(w.userBase+u, week, int(f))
 				for d, day := range days {
 					for i, v := range day {
 						if math.IsNaN(v) || (i > 0 && v < day[i-1]) {
-							panic(fmt.Sprintf("analysis: snapshot user %d %s week %d day %d: day view not sorted at %d", u, f, week, d, i))
+							panic(fmt.Sprintf("analysis: snapshot user %d %s week %d day %d: day view not sorted at %d", w.userBase+u, f, week, d, i))
 						}
 					}
 				}

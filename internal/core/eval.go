@@ -101,23 +101,37 @@ func EvaluatePolicy(in EvalInput) (*EvalResult, error) {
 		if in.Attack != nil {
 			attack = in.Attack[i]
 		}
-		conf, err := Evaluate(in.Test[i], attack, asn.Thresholds[i])
+		pt, err := ScorePoint(i, in.Test[i], attack, asn.Thresholds[i])
 		if err != nil {
-			return fmt.Errorf("core: user %d: %w", i, err)
+			return err
 		}
-		res.Points[i] = OperatingPoint{
-			User:      i,
-			Threshold: asn.Thresholds[i],
-			FP:        conf.FalsePositiveRate(),
-			FN:        conf.FalseNegativeRate(),
-			Confusion: conf,
-		}
+		res.Points[i] = pt
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// ScorePoint scores one user's test column (plus optional additive
+// attack overlay) against a threshold, returning the operating point
+// EvaluatePolicy records for that user. It is the per-user unit of the
+// scoring loop, exported so streaming evaluators can score a mapped
+// snapshot shard by shard without materializing the whole test
+// population.
+func ScorePoint(u int, test, attack []float64, thr float64) (OperatingPoint, error) {
+	conf, err := Evaluate(test, attack, thr)
+	if err != nil {
+		return OperatingPoint{}, fmt.Errorf("core: user %d: %w", u, err)
+	}
+	return OperatingPoint{
+		User:      u,
+		Threshold: thr,
+		FP:        conf.FalsePositiveRate(),
+		FN:        conf.FalseNegativeRate(),
+		Confusion: conf,
+	}, nil
 }
 
 // Utilities returns every user's utility for weight w.

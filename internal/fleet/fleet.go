@@ -297,7 +297,7 @@ func openFleetSnapshot(cfg Config) (*analysis.Workspace, int) {
 	if err != nil {
 		return nil, fallbacks
 	}
-	ws, _, err := analysis.LoadOrMaterialize(cfg.SnapshotDir, key, 0, 0, warn,
+	ws, _, err := analysis.LoadOrMaterialize(cfg.SnapshotDir, key, 0, 0, pop.CostWeights(), warn,
 		func(u int, rows [][features.NumFeatures]float64) {
 			pop.Users[u].FillSeries(rows)
 		})

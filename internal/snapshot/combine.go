@@ -1,0 +1,104 @@
+package snapshot
+
+// CRC-32C combination: given crc(A), crc(B) and len(B), compute
+// crc(A ∥ B) without touching a byte of either buffer. Appending len2
+// zero bytes to a message multiplies its CRC register by x^(8·len2) in
+// GF(2)[x]/P — a linear operator over the 32 register bits — so the
+// concatenation identity is
+//
+//	crc(A ∥ B) = shift_len2(crc(A)) XOR crc(B)
+//
+// with shift_len2 represented as a 32×32 bit matrix built by repeated
+// squaring (the classic zlib crc32_combine construction, instantiated
+// for the Castagnoli polynomial this package checksums with). The
+// pre/post inversion of the presented CRC cancels through the XOR the
+// same way it does in zlib, so the identity holds directly on the
+// values hash/crc32 returns.
+//
+// The splice merge leans on one extra fact: snapshot records all share
+// one byte length, so the operator for that length can be built once
+// (O(log len) squarings) and every subsequent fold is a single 32-word
+// matrix-vector apply — folding a 100k-record CRC table into manifest
+// shard CRCs costs ~32 XORs per record instead of re-reading ~100 KB.
+
+// castPolyReflected is the Castagnoli polynomial in the reflected bit
+// order hash/crc32's little-endian algorithm uses.
+const castPolyReflected = 0x82f63b78
+
+// crcShift is the precomputed "append N zero bytes" operator.
+type crcShift struct {
+	mat [32]uint32
+}
+
+// gf2Apply multiplies the matrix by a bit vector.
+func gf2Apply(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// gf2MatMul composes two operators: out = a ∘ b.
+func gf2MatMul(a, b *[32]uint32) [32]uint32 {
+	var out [32]uint32
+	for n := 0; n < 32; n++ {
+		out[n] = gf2Apply(a, b[n])
+	}
+	return out
+}
+
+// makeCRCShift builds the operator for appending len2 zero bytes.
+func makeCRCShift(len2 int64) crcShift {
+	// Identity.
+	var res [32]uint32
+	for n := 0; n < 32; n++ {
+		res[n] = 1 << n
+	}
+	if len2 <= 0 {
+		return crcShift{mat: res}
+	}
+	// One-bit shift operator in the reflected domain...
+	var cur [32]uint32
+	cur[0] = castPolyReflected
+	for n := 1; n < 32; n++ {
+		cur[n] = 1 << (n - 1)
+	}
+	// ...squared three times is the one-zero-byte operator x^8.
+	for i := 0; i < 3; i++ {
+		cur = gf2MatMul(&cur, &cur)
+	}
+	// Square-and-multiply over the byte count.
+	for {
+		if len2&1 != 0 {
+			res = gf2MatMul(&cur, &res)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		cur = gf2MatMul(&cur, &cur)
+	}
+	return crcShift{mat: res}
+}
+
+// combine folds the CRC of a following buffer (whose length the shift
+// was built for) onto the CRC of everything before it.
+func (s *crcShift) combine(crc1, crc2 uint32) uint32 {
+	return gf2Apply(&s.mat, crc1) ^ crc2
+}
+
+// crc32Combine returns crc(A ∥ B) from crc(A)=crc1, crc(B)=crc2 and
+// len(B)=len2 — the one-shot form for heterogeneous lengths (part
+// payloads); repeated folds over one length should build the crcShift
+// once instead.
+func crc32Combine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	s := makeCRCShift(len2)
+	return s.combine(crc1, crc2)
+}

@@ -1,0 +1,47 @@
+package snapshot
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// TestCRC32Combine pins the GF(2) combine against hash/crc32 ground
+// truth over random buffers of awkward lengths, including empty sides.
+func TestCRC32Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lens := []int{0, 1, 2, 7, 8, 63, 64, 100, 4096, 12345}
+	for _, la := range lens {
+		for _, lb := range lens {
+			a := make([]byte, la)
+			b := make([]byte, lb)
+			rng.Read(a)
+			rng.Read(b)
+			want := crc32.Checksum(append(append([]byte{}, a...), b...), crcTable)
+			got := crc32Combine(crc32.Checksum(a, crcTable), crc32.Checksum(b, crcTable), int64(lb))
+			if got != want {
+				t.Fatalf("combine(len %d, len %d) = %08x, want %08x", la, lb, got, want)
+			}
+		}
+	}
+}
+
+// TestCRCShiftFold pins the precomputed fixed-length operator over a
+// many-record fold — the exact shape the splice merge uses to rebuild
+// manifest shard CRCs from per-record CRCs.
+func TestCRCShiftFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const recLen = 776 // deliberately not a power of two
+	shift := makeCRCShift(recLen)
+	var whole []byte
+	crc := uint32(0)
+	for i := 0; i < 50; i++ {
+		rec := make([]byte, recLen)
+		rng.Read(rec)
+		whole = append(whole, rec...)
+		crc = shift.combine(crc, crc32.Checksum(rec, crcTable))
+	}
+	if want := crc32.Checksum(whole, crcTable); crc != want {
+		t.Fatalf("folded CRC %08x != whole-buffer %08x", crc, want)
+	}
+}

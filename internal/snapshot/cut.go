@@ -1,0 +1,67 @@
+package snapshot
+
+// CutRanges splits users [0, n) (n = len(weights)) into k contiguous,
+// non-empty ranges balanced by per-user weight rather than user count.
+// Equal-count cuts skew badly under the generator's heavy-tail
+// populations — the shard that drew the heavy users does ~1.6× the
+// work of its siblings — so distributed builders and streaming
+// evaluators cut by expected per-user cost instead.
+//
+// The cut is deterministic: boundary i (1 ≤ i < k) is the smallest
+// index whose weight prefix reaches total·i/k, clamped so every range
+// keeps at least one user and the ranges tile [0, n) exactly. NaN and
+// negative weights count as zero; if the total weight is zero (or k
+// ≤ 1, or n ≤ k) the cut degrades to equal user counts — the same
+// arithmetic the equal-split builders used, so unweighted callers are
+// unchanged. k is clamped to [1, n].
+func CutRanges(weights []float64, k int) [][2]int {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	equal := func() [][2]int {
+		out := make([][2]int, k)
+		for i := 0; i < k; i++ {
+			out[i] = [2]int{i * n / k, (i + 1) * n / k}
+		}
+		return out
+	}
+	if k == 1 {
+		return [][2]int{{0, n}}
+	}
+	prefix := make([]float64, n+1)
+	for i, w := range weights {
+		if !(w > 0) { // negative and NaN both fail this test
+			w = 0
+		}
+		prefix[i+1] = prefix[i] + w
+	}
+	total := prefix[n]
+	if !(total > 0) {
+		return equal()
+	}
+	out := make([][2]int, k)
+	lo := 0
+	for i := 1; i < k; i++ {
+		target := total * float64(i) / float64(k)
+		// Smallest boundary whose prefix reaches the target...
+		b := lo + 1
+		for b < n && prefix[b] < target {
+			b++
+		}
+		// ...clamped so the remaining k-i ranges stay non-empty.
+		if max := n - (k - i); b > max {
+			b = max
+		}
+		out[i-1] = [2]int{lo, b}
+		lo = b
+	}
+	out[k-1] = [2]int{lo, n}
+	return out
+}

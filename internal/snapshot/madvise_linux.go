@@ -1,0 +1,16 @@
+//go:build linux
+
+package snapshot
+
+import "syscall"
+
+// dropPages releases a mapped byte range from the process's resident
+// set. For a read-only MAP_SHARED file mapping MADV_DONTNEED is
+// non-destructive: a later access refaults the page from the file (or
+// page cache). Best effort — a failure just leaves pages resident.
+func dropPages(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	_ = syscall.Madvise(b, syscall.MADV_DONTNEED)
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package snapshot
+
+// dropPages is a no-op where madvise is unavailable; streaming
+// evaluation still works, the kernel just reclaims pages on its own
+// schedule.
+func dropPages(b []byte) {}

@@ -4,6 +4,10 @@ package snapshot
 
 import "os"
 
+// mmapBacked is false here: views are heap slices, so dropping pages
+// would destroy data rather than release it.
+const mmapBacked = false
+
 // mapFile on platforms without syscall.Mmap falls back to reading the
 // whole file into memory. The views are then plain heap slices —
 // still safe, just not zero-copy; Close is a no-op release.

@@ -7,6 +7,11 @@ import (
 	"syscall"
 )
 
+// mmapBacked reports that snapshot views alias a file mapping here,
+// so released pages can be dropped from the resident set and will
+// refault intact from the file.
+const mmapBacked = true
+
 // mapFile maps size bytes of path read-only and shared. The read-only
 // protection is part of the format's safety contract: every view the
 // analysis layer hands out from a snapshot is documented read-only,

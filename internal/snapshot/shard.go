@@ -4,25 +4,40 @@ package snapshot
 // hosts sharing a filesystem) each seal a contiguous user range
 // [lo, hi) as a part file next to the final snapshot, and a final
 // MergeShards call validates that the sealed parts tile the population
-// exactly, streams them through an ordinary Writer, and seals the
-// canonical snapshot + manifest. Because the merge replays the exact
-// record bytes through the same Writer a single-process Save uses, the
-// merged store is byte-identical to the single-process build — both
-// the .snap and its .manifest — by construction.
+// exactly and splices them into the canonical snapshot + manifest.
+//
+// Because the payload is user-major, a part's payload bytes are
+// already exactly the bytes the final snapshot needs at that offset —
+// so the merge is a verified byte concatenation, and every checksum
+// the sealed store carries (header CRC, manifest shard CRCs) is
+// recomputed from the parts' CRC tables with the GF(2) combine in
+// combine.go instead of re-streaming every record through a Writer.
+// MergeShardsStreaming retains the original replay-through-a-Writer
+// merge as the independent verify fallback; the two are pinned
+// byte-identical.
 //
 // # Part layout
 //
 // A part is a sealed, self-checksummed slice of the payload:
 //
-//	offset 0    magic "RPWSPRT1" (8 bytes)
-//	offset 8    header: 15 × uint64
+//	offset 0    magic "RPWSPRT2" (8 bytes)
+//	offset 8    header: 16 × uint64
 //	              fields 0–9: identical to the snapshot header
 //	              (headerVersion … binsPerWeek), then payloadFloats
 //	              (of the FULL key, so a part can never be mistaken
 //	              for a differently sized population), lo, hi,
 //	              partFloats ((hi-lo) × recordFloats), partCRC
-//	              (CRC-32C of the part payload, low 32 bits)
+//	              (CRC-32C of the part payload, low 32 bits), tableCRC
+//	              (CRC-32C of the record-CRC table, low 32 bits)
 //	then        payload: users [lo, hi) × record
+//	then        table: (hi-lo) × uint32 per-record CRC-32Cs
+//
+// The per-record table is what lets the merge seal the manifest
+// without re-reading a single payload float: record CRCs concatenate
+// into manifest shard CRCs and the header checksum by pure CRC
+// algebra, and the table itself is cross-checked against partCRC (the
+// fold of the table must equal the payload's own checksum) so a
+// corrupt table can never produce a sealed store.
 //
 // Parts use the same temp-file + atomic-rename discipline as the
 // snapshot writer: a crashed worker leaves only a temp file (swept by
@@ -42,8 +57,8 @@ import (
 )
 
 const (
-	partMagic    = "RPWSPRT1"
-	partFields   = 15
+	partMagic    = "RPWSPRT2"
+	partFields   = 16
 	partHdrBytes = 8 + partFields*8
 )
 
@@ -53,7 +68,7 @@ func (k Key) PartPath(dir string, lo, hi int) string {
 	return filepath.Join(dir, fmt.Sprintf("%s.part-%08d-%08d", k.Filename(), lo, hi))
 }
 
-func (k Key) encodePartHeader(lo, hi, partFloats int, crc uint32) []byte {
+func (k Key) encodePartHeader(lo, hi, partFloats int, crc, tableCRC uint32) []byte {
 	buf := make([]byte, partHdrBytes)
 	copy(buf, partMagic)
 	fields := []uint64{
@@ -72,6 +87,7 @@ func (k Key) encodePartHeader(lo, hi, partFloats int, crc uint32) []byte {
 		uint64(hi),
 		uint64(partFloats),
 		uint64(crc),
+		uint64(tableCRC),
 	}
 	for i, v := range fields {
 		binary.LittleEndian.PutUint64(buf[8+8*i:], v)
@@ -80,10 +96,11 @@ func (k Key) encodePartHeader(lo, hi, partFloats int, crc uint32) []byte {
 }
 
 // checkPartHeader validates a part header against the key and the
-// range its filename claims, returning the payload checksum it seals.
-func (k Key) checkPartHeader(buf []byte, lo, hi int) (checksum uint64, err error) {
+// range its filename claims, returning the payload and record-table
+// checksums it seals.
+func (k Key) checkPartHeader(buf []byte, lo, hi int) (checksum, tableCRC uint64, err error) {
 	if len(buf) < partHdrBytes || string(buf[:8]) != partMagic {
-		return 0, fmt.Errorf("snapshot: bad part magic (not a shard part)")
+		return 0, 0, fmt.Errorf("snapshot: bad part magic (not a shard part)")
 	}
 	field := func(i int) uint64 { return binary.LittleEndian.Uint64(buf[8+8*i:]) }
 	rf := k.Layout().RecordFloats()
@@ -109,26 +126,34 @@ func (k Key) checkPartHeader(buf []byte, lo, hi int) (checksum uint64, err error
 	}
 	for _, c := range checks {
 		if c.got != c.want {
-			return 0, fmt.Errorf("snapshot: part %s mismatch (file %d, want %d)", c.name, c.got, c.want)
+			return 0, 0, fmt.Errorf("snapshot: part %s mismatch (file %d, want %d)", c.name, c.got, c.want)
 		}
 	}
-	return field(14), nil
+	return field(14), field(15), nil
+}
+
+// partSize returns the sealed on-disk size of a part covering
+// [lo, hi): header ∥ payload ∥ record-CRC table.
+func (k Key) partSize(lo, hi int) int64 {
+	rf := int64(k.Layout().RecordFloats())
+	return int64(partHdrBytes) + int64(hi-lo)*rf*8 + int64(hi-lo)*4
 }
 
 // ShardWriter streams one contiguous user range of a snapshot to a
 // sealed part file. It mirrors Writer's contract: append users
 // [lo, hi) in order, then Finish (or Abort).
 type ShardWriter struct {
-	key    Key
-	lay    Layout
-	lo, hi int
-	f      *os.File
-	bw     *bufio.Writer
-	crc    uint32
-	users  int // appended so far, relative to lo
-	tmp    string
-	final  string
-	done   bool
+	key     Key
+	lay     Layout
+	lo, hi  int
+	f       *os.File
+	bw      *bufio.Writer
+	crc     uint32
+	recCRCs []uint32
+	users   int // appended so far, relative to lo
+	tmp     string
+	final   string
+	done    bool
 }
 
 // CreateShard opens a part writer for users [lo, hi) of key under dir
@@ -152,7 +177,7 @@ func CreateShard(dir string, key Key, lo, hi int) (*ShardWriter, error) {
 	}
 	w := &ShardWriter{key: key, lay: key.Layout(), lo: lo, hi: hi, f: f,
 		bw: bufio.NewWriterSize(f, 1<<20), tmp: f.Name(), final: final}
-	if _, err := w.bw.Write(key.encodePartHeader(lo, hi, (hi-lo)*w.lay.RecordFloats(), 0)); err != nil {
+	if _, err := w.bw.Write(key.encodePartHeader(lo, hi, (hi-lo)*w.lay.RecordFloats(), 0, 0)); err != nil {
 		w.Abort()
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
@@ -178,6 +203,9 @@ func (w *ShardWriter) AppendUsers(recs []float64) error {
 	}
 	b := floatBytes(recs)
 	w.crc = crc32.Update(w.crc, crcTable, b)
+	for i := 0; i < n; i++ {
+		w.recCRCs = append(w.recCRCs, crc32.Checksum(b[i*rf*8:(i+1)*rf*8], crcTable))
+	}
 	if _, err := w.bw.Write(b); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
@@ -185,9 +213,18 @@ func (w *ShardWriter) AppendUsers(recs []float64) error {
 	return nil
 }
 
+// encodeCRCTable renders a record-CRC table as its on-disk bytes.
+func encodeCRCTable(crcs []uint32) []byte {
+	buf := make([]byte, 4*len(crcs))
+	for i, c := range crcs {
+		binary.LittleEndian.PutUint32(buf[4*i:], c)
+	}
+	return buf
+}
+
 // Finish seals the part: the full range must have been appended. It
-// flushes, patches the header checksum, syncs and atomically renames
-// the part into place.
+// appends the record-CRC table, flushes, patches the header checksums,
+// syncs and atomically renames the part into place.
 func (w *ShardWriter) Finish() error {
 	if w.done {
 		return fmt.Errorf("snapshot: shard writer already finished")
@@ -196,11 +233,17 @@ func (w *ShardWriter) Finish() error {
 		w.Abort()
 		return fmt.Errorf("snapshot: %d of %d shard users appended", w.users, w.hi-w.lo)
 	}
+	table := encodeCRCTable(w.recCRCs)
+	if _, err := w.bw.Write(table); err != nil {
+		w.Abort()
+		return fmt.Errorf("snapshot: %w", err)
+	}
 	if err := w.bw.Flush(); err != nil {
 		w.Abort()
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	hdr := w.key.encodePartHeader(w.lo, w.hi, (w.hi-w.lo)*w.lay.RecordFloats(), w.crc)
+	hdr := w.key.encodePartHeader(w.lo, w.hi, (w.hi-w.lo)*w.lay.RecordFloats(),
+		w.crc, crc32.Checksum(table, crcTable))
 	if _, err := w.f.WriteAt(hdr, 0); err != nil {
 		w.Abort()
 		return fmt.Errorf("snapshot: %w", err)
@@ -260,11 +303,81 @@ func findParts(dir string, key Key) ([]partRange, error) {
 	return parts, nil
 }
 
+// checkPartTiling validates that the discovered parts cover [0, users)
+// exactly, with no gaps or overlaps.
+func checkPartTiling(parts []partRange, key Key, dir string) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("snapshot: no sealed parts for %s under %s", key.Filename(), dir)
+	}
+	next := 0
+	for _, p := range parts {
+		if p.lo != next {
+			return fmt.Errorf("snapshot: parts do not tile the population: next range starts at %d, want %d (have %s)", p.lo, next, filepath.Base(p.path))
+		}
+		next = p.hi
+	}
+	if next != key.Users {
+		return fmt.Errorf("snapshot: parts cover users [0, %d), store needs [0, %d)", next, key.Users)
+	}
+	return nil
+}
+
+// readPartMeta validates one part's size and header, reads its
+// record-CRC table (verifying the table's own checksum), and
+// cross-checks the table against the payload checksum: the CRC fold of
+// the per-record entries must reproduce partCRC exactly, so a sealed
+// store can never be derived from a table that disagrees with the
+// payload it describes.
+func readPartMeta(key Key, p partRange, recShift *crcShift) (payloadCRC uint32, recCRCs []uint32, err error) {
+	f, err := os.Open(p.path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if want := key.partSize(p.lo, p.hi); st.Size() != want {
+		return 0, nil, fmt.Errorf("snapshot: part %s is %d bytes, want %d (truncated or foreign)", filepath.Base(p.path), st.Size(), want)
+	}
+	var hdr [partHdrBytes]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	checksum, tableCRC, err := key.checkPartHeader(hdr[:], p.lo, p.hi)
+	if err != nil {
+		return 0, nil, fmt.Errorf("snapshot: part %s: %w", filepath.Base(p.path), err)
+	}
+	rf := key.Layout().RecordFloats()
+	table := make([]byte, 4*(p.hi-p.lo))
+	if _, err := f.ReadAt(table, int64(partHdrBytes)+int64(p.hi-p.lo)*int64(rf)*8); err != nil {
+		return 0, nil, fmt.Errorf("snapshot: part %s table: %w", filepath.Base(p.path), err)
+	}
+	if got := crc32.Checksum(table, crcTable); uint64(got) != tableCRC {
+		return 0, nil, fmt.Errorf("snapshot: part %s record table checksum %08x != header %08x (corrupt)", filepath.Base(p.path), got, tableCRC)
+	}
+	recCRCs = make([]uint32, p.hi-p.lo)
+	fold := uint32(0)
+	for i := range recCRCs {
+		recCRCs[i] = binary.LittleEndian.Uint32(table[4*i:])
+		fold = recShift.combine(fold, recCRCs[i])
+	}
+	if uint64(fold) != checksum {
+		return 0, nil, fmt.Errorf("snapshot: part %s record table folds to %08x, payload checksum is %08x (inconsistent part)", filepath.Base(p.path), fold, checksum)
+	}
+	return uint32(checksum), recCRCs, nil
+}
+
 // MergeShards discovers the sealed parts of key under dir, verifies
-// they tile [0, users) exactly, and streams them — re-verifying each
-// part's checksum as it goes — through an ordinary Writer into the
-// sealed snapshot + manifest, byte-identical to a single-process
-// build. On success the consumed part files are removed. It returns
+// they tile [0, users) exactly, and splices them into the sealed
+// snapshot + manifest, byte-identical to a single-process build. The
+// user-major payload makes part payloads byte-exact slices of the
+// final store, so the merge concatenates them with verified bulk byte
+// copies and derives every checksum — the header CRC and the
+// manifest's shard and record tables — from the parts' record-CRC
+// tables by CRC combination, never re-streaming records through a
+// Writer. On success the consumed part files are removed. It returns
 // the number of parts merged.
 func MergeShards(dir string, key Key) (int, error) {
 	if err := key.validate(); err != nil {
@@ -274,18 +387,136 @@ func MergeShards(dir string, key Key) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(parts) == 0 {
-		return 0, fmt.Errorf("snapshot: no sealed parts for %s under %s", key.Filename(), dir)
+	if err := checkPartTiling(parts, key, dir); err != nil {
+		return 0, err
 	}
-	next := 0
-	for _, p := range parts {
-		if p.lo != next {
-			return 0, fmt.Errorf("snapshot: parts do not tile the population: next range starts at %d, want %d (have %s)", p.lo, next, filepath.Base(p.path))
+	lay := key.Layout()
+	recBytes := int64(lay.RecordFloats()) * 8
+	recShift := makeCRCShift(recBytes)
+
+	// Pass 1: headers + record-CRC tables, each table cross-checked
+	// against its part's payload checksum.
+	recCRCs := make([]uint32, 0, key.Users)
+	partCRCs := make([]uint32, len(parts))
+	for i, p := range parts {
+		crc, tbl, err := readPartMeta(key, p, &recShift)
+		if err != nil {
+			return 0, err
 		}
-		next = p.hi
+		partCRCs[i] = crc
+		recCRCs = append(recCRCs, tbl...)
 	}
-	if next != key.Users {
-		return 0, fmt.Errorf("snapshot: parts cover users [0, %d), store needs [0, %d)", next, key.Users)
+
+	// Derive the sealed store's checksums from the tables alone.
+	total := uint32(0)
+	for i, p := range parts {
+		total = crc32Combine(total, partCRCs[i], int64(p.hi-p.lo)*recBytes)
+	}
+	shardCRCs := make([]uint32, ManifestShards(key.Users))
+	for u, rc := range recCRCs {
+		si := u / ManifestShardUsers
+		shardCRCs[si] = recShift.combine(shardCRCs[si], rc)
+	}
+
+	// Pass 2: splice. The combined checksum is known up front, so the
+	// final header is written first and never patched.
+	sweepStaleTemps(dir)
+	final := key.Path(dir)
+	f, err := os.CreateTemp(dir, key.Filename()+".tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) (int, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.Write(key.encodeHeader(total, lay.PayloadFloats())); err != nil {
+		return fail(fmt.Errorf("snapshot: %w", err))
+	}
+	for i, p := range parts {
+		if err := spliceOnePart(bw, key, p, partCRCs[i]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("snapshot: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := writeManifest(final+manifestSuffix, key, shardCRCs, recCRCs); err != nil {
+		return 0, fmt.Errorf("snapshot: manifest: %w", err)
+	}
+	for _, p := range parts {
+		_ = os.Remove(p.path)
+	}
+	return len(parts), nil
+}
+
+// spliceOnePart bulk-copies one part's payload bytes into the
+// destination, re-verifying the part checksum as the bytes stream
+// through (so a part corrupted after pass 1 still cannot seal).
+func spliceOnePart(dst io.Writer, key Key, p partRange, wantCRC uint32) error {
+	f, err := os.Open(p.path)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	payloadBytes := int64(p.hi-p.lo) * int64(key.Layout().RecordFloats()) * 8
+	if _, err := f.Seek(partHdrBytes, io.SeekStart); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	crc := uint32(0)
+	buf := make([]byte, 1<<20)
+	for rem := payloadBytes; rem > 0; {
+		n := int64(len(buf))
+		if n > rem {
+			n = rem
+		}
+		if _, err := io.ReadFull(f, buf[:n]); err != nil {
+			return fmt.Errorf("snapshot: part %s: %w", filepath.Base(p.path), err)
+		}
+		crc = crc32.Update(crc, crcTable, buf[:n])
+		if _, err := dst.Write(buf[:n]); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		rem -= n
+	}
+	if crc != wantCRC {
+		return fmt.Errorf("snapshot: part %s payload checksum %08x != header %08x (corrupt)", filepath.Base(p.path), crc, wantCRC)
+	}
+	return nil
+}
+
+// MergeShardsStreaming is the independent verify fallback for
+// MergeShards: it replays every part record through an ordinary Writer
+// — recomputing every record CRC from the payload floats instead of
+// trusting the parts' tables — and seals the identical snapshot +
+// manifest. It exists so the splice's CRC algebra is cross-checkable
+// end to end (the byte-identity of the two merges is pinned in tests)
+// and as the recovery path if a part's table is ever suspect. On
+// success the consumed part files are removed.
+func MergeShardsStreaming(dir string, key Key) (int, error) {
+	if err := key.validate(); err != nil {
+		return 0, err
+	}
+	parts, err := findParts(dir, key)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkPartTiling(parts, key, dir); err != nil {
+		return 0, err
 	}
 	w, err := Create(dir, key)
 	if err != nil {
@@ -323,19 +554,18 @@ func mergeOnePart(w *Writer, key Key, p partRange, buf []float64) error {
 	}
 	defer f.Close()
 	rf := key.Layout().RecordFloats()
-	wantSize := int64(partHdrBytes) + int64(p.hi-p.lo)*int64(rf)*8
 	st, err := f.Stat()
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	if st.Size() != wantSize {
-		return fmt.Errorf("snapshot: part %s is %d bytes, want %d (truncated or foreign)", filepath.Base(p.path), st.Size(), wantSize)
+	if want := key.partSize(p.lo, p.hi); st.Size() != want {
+		return fmt.Errorf("snapshot: part %s is %d bytes, want %d (truncated or foreign)", filepath.Base(p.path), st.Size(), want)
 	}
 	var hdr [partHdrBytes]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	checksum, err := key.checkPartHeader(hdr[:], p.lo, p.hi)
+	checksum, tableCRC, err := key.checkPartHeader(hdr[:], p.lo, p.hi)
 	if err != nil {
 		return fmt.Errorf("snapshot: part %s: %w", filepath.Base(p.path), err)
 	}
@@ -359,6 +589,13 @@ func mergeOnePart(w *Writer, key Key, p partRange, buf []float64) error {
 	}
 	if uint64(crc) != checksum {
 		return fmt.Errorf("snapshot: part %s payload checksum %08x != header %08x (corrupt)", filepath.Base(p.path), crc, checksum)
+	}
+	table := make([]byte, 4*(p.hi-p.lo))
+	if _, err := io.ReadFull(br, table); err != nil {
+		return fmt.Errorf("snapshot: part %s table: %w", filepath.Base(p.path), err)
+	}
+	if got := crc32.Checksum(table, crcTable); uint64(got) != tableCRC {
+		return fmt.Errorf("snapshot: part %s record table checksum %08x != header %08x (corrupt)", filepath.Base(p.path), got, tableCRC)
 	}
 	return nil
 }

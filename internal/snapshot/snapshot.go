@@ -616,6 +616,42 @@ func (s *Snapshot) DayColumns(u, week, f int) [][]float64 {
 	return days
 }
 
+// DropUserRange releases the mapped pages holding users [lo, hi)
+// from the process's resident set. Streaming evaluators call it after
+// finishing a shard so peak RSS tracks one shard's working set instead
+// of accumulating the whole population; the data stays valid — a later
+// access simply refaults from the file. No-op on heap-backed
+// (non-mmap) snapshots, on a closed snapshot, and for empty ranges.
+//
+// Only whole pages strictly inside the range are dropped (the range is
+// rounded inward to page boundaries), so records straddling the
+// range's edges are never victimized while a neighboring shard may
+// still be reading them.
+func (s *Snapshot) DropUserRange(lo, hi int) {
+	if !mmapBacked || s.data == nil {
+		return
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.lay.Users {
+		hi = s.lay.Users
+	}
+	if hi <= lo {
+		return
+	}
+	recBytes := s.lay.RecordFloats() * 8
+	start := headerBytes + lo*recBytes
+	end := headerBytes + hi*recBytes
+	page := os.Getpagesize()
+	start = (start + page - 1) / page * page // round up
+	end = end / page * page                  // round down
+	if end <= start {
+		return
+	}
+	dropPages(s.data[start:end])
+}
+
 // Close unmaps the snapshot. Every view handed out becomes invalid:
 // callers must ensure no goroutine still reads them (the Workspace
 // wrapper documents the same rule).

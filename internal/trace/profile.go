@@ -286,6 +286,21 @@ func (u *User) Rates() (tcp, udp, dns float64) {
 	return u.tcpRate, u.udpRate, u.dnsRate
 }
 
+// CostWeights returns one non-negative weight per user proportional
+// to the user's expected generation cost — the sum of the latent
+// per-bin connection rates, which is what drives both the sampler's
+// draw count and the emitter's record count. Range cutters
+// (snapshot.CutRanges) use it to hand heavy-tail users out evenly:
+// equal user counts skew worker wall-clock by the tail, equal expected
+// cost does not.
+func (p *Population) CostWeights() []float64 {
+	out := make([]float64, len(p.Users))
+	for i, u := range p.Users {
+		out[i] = u.tcpRate + u.udpRate + u.dnsRate
+	}
+	return out
+}
+
 // Bins returns the total number of bins in this user's capture.
 func (u *User) Bins() int { return u.cfg.TotalBins() }
 

@@ -23,6 +23,7 @@ package repro
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,15 @@ type Options struct {
 	// processes. <= 1 keeps the single streaming build. Ignored
 	// without a snapshot directory.
 	SnapshotWorkers int
+	// StreamShard arms bounded-heap streaming evaluation on a mapped
+	// snapshot workspace: population-wide analyses iterate the store
+	// in shards of at most this many users, releasing each shard's
+	// pages as they finish, so peak RSS tracks the shard size instead
+	// of the population. Results are bit-identical to the whole-heap
+	// path. Zero means the REPRO_STREAM_SHARD environment variable,
+	// then (still zero) whole-heap evaluation. Ignored without a
+	// snapshot-backed workspace.
+	StreamShard int
 	// Warnf receives non-fatal operational warnings — today, snapshot
 	// store fallbacks (stale/corrupt file rejected, unwritable
 	// directory) that would otherwise regenerate silently. Default:
@@ -95,6 +105,7 @@ type Enterprise struct {
 	snapDir     string
 	snapShard   int
 	snapWorkers int
+	streamShard int
 	warnf       func(format string, args ...any)
 
 	wsOnce sync.Once
@@ -120,6 +131,12 @@ func NewEnterprise(opts Options) (*Enterprise, error) {
 	if dir == "" {
 		dir = os.Getenv("REPRO_SNAPSHOT_DIR")
 	}
+	streamShard := opts.StreamShard
+	if streamShard == 0 {
+		if n, err := strconv.Atoi(os.Getenv("REPRO_STREAM_SHARD")); err == nil {
+			streamShard = n
+		}
+	}
 	warnf := opts.Warnf
 	if warnf == nil {
 		warnf = func(format string, args ...any) {
@@ -127,12 +144,13 @@ func NewEnterprise(opts Options) (*Enterprise, error) {
 		}
 	}
 	return &Enterprise{
-		Pop:       pop,
-		once:      make([]sync.Once, len(pop.Users)),
-		matrices:  make([]*features.Matrix, len(pop.Users)),
+		Pop:         pop,
+		once:        make([]sync.Once, len(pop.Users)),
+		matrices:    make([]*features.Matrix, len(pop.Users)),
 		snapDir:     dir,
 		snapShard:   opts.SnapshotShard,
 		snapWorkers: opts.SnapshotWorkers,
+		streamShard: streamShard,
 		warnf:       warnf,
 	}, nil
 }
@@ -222,7 +240,7 @@ func (e *Enterprise) buildWorkspace() *analysis.Workspace {
 			// full disk, … — falls through to the in-memory build
 			// rather than failing the run, but is surfaced through
 			// Warnf so operators can tell a fallback from a warm map.
-			ws, _, err := analysis.LoadOrMaterialize(e.snapDir, key, e.snapShard, e.snapWorkers,
+			ws, _, err := analysis.LoadOrMaterialize(e.snapDir, key, e.snapShard, e.snapWorkers, e.Pop.CostWeights(),
 				func(stage string, werr error) {
 					e.warnf("snapshot %s fallback (%s): %v", stage, e.snapDir, werr)
 				},
@@ -230,6 +248,7 @@ func (e *Enterprise) buildWorkspace() *analysis.Workspace {
 					e.Pop.Users[u].FillSeries(rows)
 				})
 			if err == nil {
+				ws.SetStreamShard(e.streamShard)
 				return ws
 			}
 		}

@@ -1,0 +1,115 @@
+package repro
+
+// End-to-end guard for bounded-heap streaming evaluation: every
+// experiment that routes through the streaming iterator must produce
+// results bit-identical to the whole-heap path over the same sealed
+// snapshot — across shard sizes bracketing the population (one user,
+// an odd size leaving a ragged tail, larger than everyone) and across
+// heavy-tail seeds.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// runStreamedSet renders every streaming-routed experiment.
+func runStreamedSet(t *testing.T, e *Enterprise) []any {
+	t.Helper()
+	cfg := DefaultExperimentConfig()
+	f1, err := Fig1(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3a, err := Fig3a(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3b, err := Fig3b(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := Table3(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4a, err := Fig4a(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4b, err := Fig4b(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []any{f1, f3a, f3b, t3, f4a, f4b}
+}
+
+func TestStreamingExperimentsMatchWholeHeap(t *testing.T) {
+	t.Setenv("REPRO_SNAPSHOT_DIR", "")
+	t.Setenv("REPRO_STREAM_SHARD", "")
+	names := []string{"Fig1", "Fig3a", "Fig3b", "Table3", "Fig4a", "Fig4b"}
+	for _, seed := range []uint64{53, 87} {
+		dir := t.TempDir()
+		opts := Options{Users: 26, Weeks: 2, Seed: seed, SnapshotDir: dir}
+		whole, err := NewEnterprise(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole.Materialize() // seeds the store; maps it whole-heap
+		want := runStreamedSet(t, whole)
+		for _, shard := range []int{1, 7, 128} {
+			sopts := opts
+			sopts.StreamShard = shard
+			streamed, err := NewEnterprise(sopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runStreamedSet(t, streamed)
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("seed %d shard %d: %s diverges from the whole-heap path", seed, shard, names[i])
+				}
+			}
+			if err := streamed.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := whole.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStreamShardEnvArmsStreaming pins the REPRO_STREAM_SHARD
+// plumbing: the env-armed enterprise must agree with an
+// Options-armed one (and with the whole-heap path).
+func TestStreamShardEnvArmsStreaming(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("REPRO_SNAPSHOT_DIR", dir)
+	t.Setenv("REPRO_STREAM_SHARD", "")
+	opts := Options{Users: 11, Weeks: 2, Seed: 5}
+	whole, err := NewEnterprise(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole.Materialize()
+	cfg := DefaultExperimentConfig()
+	want, err := Fig3a(whole, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("REPRO_STREAM_SHARD", "4")
+	streamed, err := NewEnterprise(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.streamShard != 4 {
+		t.Fatalf("REPRO_STREAM_SHARD=4 armed shard %d", streamed.streamShard)
+	}
+	got, err := Fig3a(streamed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("env-armed streaming run diverges from the whole-heap run")
+	}
+}
