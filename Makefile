@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke shard-smoke eval-smoke
+.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke shard-smoke eval-smoke build-chaos-smoke
 
 all: verify
 
@@ -106,6 +106,27 @@ eval-smoke:
 	REPRO_SNAPSHOT_DIR=$(EVAL_SMOKE_DIR) REPRO_STREAM_SHARD=7 $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestStreaming' .
 	printf '[{"name":"whole-heap","users":40,"seed":1,"run":"fig3a,table3"},{"name":"stream-7","users":40,"seed":1,"streamShard":7,"run":"fig3a,table3"}]' > /tmp/repro-eval-sweep.json
 	/tmp/repro-experiments -snapshot $(EVAL_SMOKE_DIR) -configs /tmp/repro-eval-sweep.json
+
+# build-chaos-smoke proves the fault-tolerant build coordinator end to
+# end at the process level: for each suite key, a 2-worker coordinated
+# build runs under a seeded crash+slow fault plan, halting once
+# mid-build (-halt-after) and resuming from the verified parts on a
+# second invocation; the golden + equivalence suites then run warm
+# through the merged stores — so the suites' pinned outputs certify
+# that builds which crashed, slowed and resumed sealed the exact clean
+# bytes. `tracegen gc -part-age -dry-run` sweeps the store at the end
+# as an abandoned-build lifecycle smoke.
+BUILD_CHAOS_SMOKE_DIR ?= /tmp/repro-build-chaos-smoke
+BUILD_CHAOS_FAULTS = crash=0.3,slow=0.3,slowms=20,limit=2
+build-chaos-smoke:
+	rm -rf $(BUILD_CHAOS_SMOKE_DIR)
+	$(GO) build -o /tmp/repro-tracegen ./cmd/tracegen
+	/tmp/repro-tracegen -snapshot $(BUILD_CHAOS_SMOKE_DIR) -users 20 -weeks 2 -seed 1 -coordinate -workers 2 -ranges 4 -fault "$(BUILD_CHAOS_FAULTS)" -fault-seed 9 -retries 6 -halt-after 1
+	/tmp/repro-tracegen -snapshot $(BUILD_CHAOS_SMOKE_DIR) -users 20 -weeks 2 -seed 1 -coordinate -workers 2 -ranges 4 -fault "$(BUILD_CHAOS_FAULTS)" -fault-seed 9 -retries 6
+	/tmp/repro-tracegen -snapshot $(BUILD_CHAOS_SMOKE_DIR) -users 40 -weeks 2 -seed 7 -coordinate -workers 2 -ranges 4 -fault "$(BUILD_CHAOS_FAULTS)" -fault-seed 11 -retries 6 -halt-after 1
+	/tmp/repro-tracegen -snapshot $(BUILD_CHAOS_SMOKE_DIR) -users 40 -weeks 2 -seed 7 -coordinate -workers 2 -ranges 4 -fault "$(BUILD_CHAOS_FAULTS)" -fault-seed 11 -retries 6
+	REPRO_SNAPSHOT_DIR=$(BUILD_CHAOS_SMOKE_DIR) $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestEnterprise' .
+	/tmp/repro-tracegen gc -snapshot $(BUILD_CHAOS_SMOKE_DIR) -keep 2 -part-age 1ns -dry-run
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"reflect"
 	"testing"
@@ -35,7 +36,7 @@ func TestSnapshotMatrixLoadPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ws, err := analysis.MaterializeSharded(dir, key, 0, func(u int, rows [][features.NumFeatures]float64) {
+	ws, err := analysis.MaterializeSharded(context.Background(), dir, key, 0, func(u int, rows [][features.NumFeatures]float64) {
 		pop.Users[u].FillSeries(rows)
 	})
 	if err != nil {

@@ -32,24 +32,48 @@
 // byte-identical to a single-process build. -workers N does the same
 // fan-out with N in-process builders in one invocation.
 //
+// -shard-range speaks the coordinator worker protocol: on success it
+// prints one JSON line (range, sealed bytes, payload CRC, elapsed) on
+// stdout and exits 0; transient build failures exit 3 (retryable),
+// invalid key/range/config exit 4 (fatal). Human-readable progress
+// goes to stderr.
+//
+// -coordinate runs the fault-tolerant build coordinator
+// (internal/buildctl) instead of the fail-fast -workers fan-out:
+// failed ranges back off and retry, stragglers are hedged, repeatedly
+// failing ranges are re-cut, and an interrupted build resumes from
+// the verified parts on disk. -fault injects a seeded chaos plan
+// ("crash=0.3,slow=0.2,hang=0.1,corrupt=0.1,limit=2,slowms=50") for
+// smoke-testing the coordinator against itself; -halt-after N stops
+// after N newly sealed parts to exercise resumption.
+//
 // The store itself is managed with the gc subcommand:
 //
-//	tracegen gc -snapshot DIR [-keep N] [-max-bytes B] [-dry-run]
+//	tracegen gc -snapshot DIR [-keep N] [-max-bytes B] [-part-age D] [-dry-run]
 //
 // which keeps the newest N sealed snapshots within the byte budget
-// and removes evicted snapshots, orphaned manifests and already
-// merged part leftovers.
+// and removes evicted snapshots, orphaned manifests, already merged
+// part leftovers, and parts or quarantined *.bad corpses from builds
+// abandoned longer than -part-age ago.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/buildctl"
 	"repro/internal/features"
 	"repro/internal/netsim"
 	"repro/internal/snapshot"
@@ -72,14 +96,28 @@ func main() {
 	workers := flag.Int("workers", 0, "coordinator mode: build the snapshot as N in-process shard parts and merge (0/1 = single streaming build)")
 	shardRange := flag.String("shard-range", "", "worker mode: build only users lo:hi as a sealed snapshot part (requires -snapshot)")
 	merge := flag.Bool("merge", false, "coordinator mode: merge previously built -shard-range parts into the sealed snapshot (requires -snapshot)")
+	coordinate := flag.Bool("coordinate", false, "fault-tolerant coordinator mode: drive the snapshot build to sealed with retries, hedging and resume (requires -snapshot)")
+	ranges := flag.Int("ranges", 0, "coordinate: target number of build ranges (0 = one per worker)")
+	retries := flag.Int("retries", 0, "coordinate: attempts per range before the build aborts (0 = default)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "coordinate: wall-clock bound per attempt (0 = none)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinate: minimum straggler age before a duplicate attempt is hedged (0 = median-based only)")
+	haltAfter := flag.Int("halt-after", 0, "coordinate: stop after N newly sealed parts (resumable; 0 = run to completion)")
+	faultSpec := flag.String("fault", "", `coordinate: seeded chaos plan, e.g. "crash=0.3,slow=0.2,hang=0.1,corrupt=0.1,limit=2,slowms=50"`)
+	faultSeed := flag.Uint64("fault-seed", 1, "coordinate: seed for -fault draws and retry jitter")
 	flag.Parse()
 	if *out == "" && *snapDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if (*shardRange != "" || *merge) && *snapDir == "" {
-		log.Fatalf("tracegen: -shard-range and -merge need -snapshot")
+	if (*shardRange != "" || *merge || *coordinate) && *snapDir == "" {
+		log.Fatalf("tracegen: -shard-range, -merge and -coordinate need -snapshot")
 	}
+
+	// Ctrl-C / SIGTERM cancels in-flight builds cleanly: part writers
+	// abort their temp files, nothing partial is ever sealed, and a
+	// -coordinate build resumes from its verified parts next run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	pop, err := trace.NewPopulation(trace.Config{
 		Users:    *users,
@@ -88,17 +126,28 @@ func main() {
 		BinWidth: time.Duration(*binMinutes) * time.Minute,
 	})
 	if err != nil {
+		if *shardRange != "" {
+			workerExit(buildctl.ExitFatal, "%v", err)
+		}
 		log.Fatalf("tracegen: %v", err)
 	}
 	switch {
 	case *shardRange != "":
-		buildShardRange(pop, *snapDir, *shardRange, *shard)
+		buildShardRangeCmd(ctx, pop, *snapDir, *shardRange, *shard)
 		return
 	case *merge:
 		mergeShards(pop, *snapDir)
 		return
+	case *coordinate:
+		coordinateBuild(ctx, pop, *snapDir, coordOptions{
+			shard: *shard, workers: *workers, ranges: *ranges,
+			retries: *retries, attemptTimeout: *attemptTimeout,
+			hedgeAfter: *hedgeAfter, haltAfter: *haltAfter,
+			faultSpec: *faultSpec, faultSeed: *faultSeed,
+		})
+		return
 	case *snapDir != "":
-		writeSnapshot(pop, *snapDir, *shard, *workers)
+		writeSnapshot(ctx, pop, *snapDir, *shard, *workers)
 	}
 	if *out == "" {
 		return
@@ -160,13 +209,13 @@ func main() {
 // writeSnapshot materializes the population's feature workspace into
 // the content-addressed store, shard by shard, unless a valid
 // snapshot for these parameters already exists.
-func writeSnapshot(pop *trace.Population, dir string, shard, workers int) {
+func writeSnapshot(ctx context.Context, pop *trace.Population, dir string, shard, workers int) {
 	key, err := snapshot.KeyFor(pop.Cfg)
 	if err != nil {
 		log.Fatalf("tracegen: snapshot key: %v", err)
 	}
 	start := time.Now()
-	ws, warm, err := analysis.LoadOrMaterialize(dir, key, shard, workers, pop.CostWeights(),
+	ws, warm, err := analysis.LoadOrMaterialize(ctx, dir, key, shard, workers, pop.CostWeights(),
 		func(stage string, werr error) {
 			log.Printf("tracegen: snapshot %s fallback: %v", stage, werr)
 		},
@@ -186,26 +235,157 @@ func writeSnapshot(pop *trace.Population, dir string, shard, workers int) {
 		key.Path(dir), pop.Cfg.Users, time.Since(start).Round(time.Millisecond))
 }
 
-// buildShardRange is the distributed-build worker: it seals users
+// workerExit is the worker-protocol error path: message on stderr,
+// classified exit code (buildctl.ExitRetryable for transient build
+// failures, buildctl.ExitFatal for invalid key/range/config a retry
+// cannot fix).
+func workerExit(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+// buildShardRangeCmd is the distributed-build worker: it seals users
 // lo:hi of the population as an independently checksummed part file
-// next to where the final snapshot will live.
-func buildShardRange(pop *trace.Population, dir, rng string, shard int) {
+// next to where the final snapshot will live, then reports the sealed
+// range as one machine-readable JSON line on stdout — the protocol
+// buildctl.ExecWorker consumes.
+func buildShardRangeCmd(ctx context.Context, pop *trace.Population, dir, rng string, shard int) {
 	var lo, hi int
 	if n, err := fmt.Sscanf(rng, "%d:%d", &lo, &hi); n != 2 || err != nil {
-		log.Fatalf("tracegen: -shard-range wants lo:hi, got %q", rng)
+		workerExit(buildctl.ExitFatal, "-shard-range wants lo:hi, got %q", rng)
 	}
+	key, err := snapshot.KeyFor(pop.Cfg)
+	if err != nil {
+		workerExit(buildctl.ExitFatal, "snapshot key: %v", err)
+	}
+	if lo < 0 || hi <= lo || hi > key.Users {
+		workerExit(buildctl.ExitFatal, "range [%d, %d) invalid for %d users", lo, hi, key.Users)
+	}
+	start := time.Now()
+	if err := analysis.BuildShardRange(ctx, dir, key, lo, hi, shard, func(u int, rows [][features.NumFeatures]float64) {
+		pop.Users[u].FillSeries(rows)
+	}); err != nil {
+		workerExit(buildctl.ExitRetryable, "building shard range: %v", err)
+	}
+	info, err := snapshot.VerifyPart(dir, key, lo, hi)
+	if err != nil {
+		workerExit(buildctl.ExitRetryable, "sealed part failed verification: %v", err)
+	}
+	res, err := json.Marshal(buildctl.RangeResult{
+		Lo: lo, Hi: hi, Bytes: info.Bytes,
+		CRC:       fmt.Sprintf("%08x", info.CRC),
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+	if err != nil {
+		workerExit(buildctl.ExitRetryable, "encoding result: %v", err)
+	}
+	fmt.Println(string(res))
+	fmt.Fprintf(os.Stderr, "%s: sealed part for users [%d, %d) in %v\n",
+		info.Path, lo, hi, time.Since(start).Round(time.Millisecond))
+}
+
+// coordOptions carries the -coordinate flag bundle.
+type coordOptions struct {
+	shard, workers, ranges int
+	retries                int
+	attemptTimeout         time.Duration
+	hedgeAfter             time.Duration
+	haltAfter              int
+	faultSpec              string
+	faultSeed              uint64
+}
+
+// parseFaultPlan decodes the -fault spec: comma-separated key=value
+// pairs over crash/hang/slow/corrupt probabilities, an attempt limit,
+// and the injected slowdown in milliseconds.
+func parseFaultPlan(spec string, seed uint64) (buildctl.FaultPlan, error) {
+	plan := buildctl.FaultPlan{Seed: seed, Limit: 2}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return plan, fmt.Errorf("fault spec term %q is not key=value", kv)
+		}
+		switch k {
+		case "crash", "hang", "slow", "corrupt":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return plan, fmt.Errorf("fault probability %q=%q out of [0, 1]", k, v)
+			}
+			switch k {
+			case "crash":
+				plan.Crash = f
+			case "hang":
+				plan.Hang = f
+			case "slow":
+				plan.Slow = f
+			case "corrupt":
+				plan.Corrupt = f
+			}
+		case "limit":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return plan, fmt.Errorf("fault limit %q invalid", v)
+			}
+			plan.Limit = n
+		case "slowms":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return plan, fmt.Errorf("fault slowms %q invalid", v)
+			}
+			plan.SlowDelay = time.Duration(n) * time.Millisecond
+		default:
+			return plan, fmt.Errorf("unknown fault key %q", k)
+		}
+	}
+	return plan, nil
+}
+
+// coordinateBuild drives the snapshot to sealed via the buildctl
+// coordinator: resumable, retrying, hedging — and optionally under an
+// injected chaos plan, which is how the build-chaos smoke proves the
+// whole control plane converges to the clean build's exact bytes.
+func coordinateBuild(ctx context.Context, pop *trace.Population, dir string, o coordOptions) {
 	key, err := snapshot.KeyFor(pop.Cfg)
 	if err != nil {
 		log.Fatalf("tracegen: snapshot key: %v", err)
 	}
-	start := time.Now()
-	if err := analysis.BuildShardRange(dir, key, lo, hi, shard, func(u int, rows [][features.NumFeatures]float64) {
-		pop.Users[u].FillSeries(rows)
-	}); err != nil {
-		log.Fatalf("tracegen: building shard range: %v", err)
+	var worker buildctl.Worker = &buildctl.LocalWorker{
+		Dir: dir, Key: key, ShardUsers: o.shard,
+		Generate: func(u int, rows [][features.NumFeatures]float64) {
+			pop.Users[u].FillSeries(rows)
+		},
 	}
-	fmt.Printf("%s: sealed part for users [%d, %d) in %v\n",
-		key.PartPath(dir, lo, hi), lo, hi, time.Since(start).Round(time.Millisecond))
+	if o.faultSpec != "" {
+		plan, err := parseFaultPlan(o.faultSpec, o.faultSeed)
+		if err != nil {
+			log.Fatalf("tracegen: -fault: %v", err)
+		}
+		worker = &buildctl.FaultyWorker{Inner: worker, Plan: plan, Dir: dir, Key: key}
+	}
+	start := time.Now()
+	st, err := buildctl.Build(ctx, buildctl.Options{
+		Dir: dir, Key: key, Worker: worker,
+		Parallel: o.workers, Ranges: o.ranges, Weights: pop.CostWeights(),
+		ShardUsers: o.shard, MaxAttempts: o.retries,
+		AttemptTimeout: o.attemptTimeout, HedgeAfter: o.hedgeAfter,
+		Seed: o.faultSeed, HaltAfter: o.haltAfter,
+		Logf: log.Printf,
+	})
+	switch {
+	case errors.Is(err, buildctl.ErrHalted):
+		fmt.Printf("%s: halted after %d newly sealed parts (attempts=%d failures=%d); rerun to resume\n",
+			key.Path(dir), st.SealedParts, st.Attempts, st.Failures)
+		return
+	case err != nil:
+		log.Fatalf("tracegen: coordinated build: %v", err)
+	case st.Warm:
+		fmt.Printf("%s: warm, nothing to coordinate\n", key.Path(dir))
+		return
+	}
+	fmt.Printf("%s: coordinated build merged %d parts (attempts=%d failures=%d hedges=%d recuts=%d resumed=%d quarantined=%d rebuilt=%d users) in %v\n",
+		key.Path(dir), st.MergedParts, st.Attempts, st.Failures, st.Hedges,
+		st.Recuts, st.ResumedParts, st.QuarantinedParts, st.RebuiltUsers,
+		time.Since(start).Round(time.Millisecond))
 }
 
 // mergeShards is the distributed-build coordinator finale: it
@@ -232,6 +412,7 @@ func runGC(args []string) {
 	dir := fs.String("snapshot", "", "snapshot store directory (required)")
 	keep := fs.Int("keep", 0, "keep at most N newest sealed snapshots (0 = no count cap)")
 	maxBytes := fs.Int64("max-bytes", 0, "total byte budget for kept snapshots (0 = no byte cap)")
+	partAge := fs.Duration("part-age", 0, "age after which parts and *.bad corpses of abandoned builds are removed (0 = 24h default)")
 	dryRun := fs.Bool("dry-run", false, "report what would be removed without removing it")
 	fs.Parse(args)
 	if *dir == "" {
@@ -239,7 +420,7 @@ func runGC(args []string) {
 		os.Exit(2)
 	}
 	st, err := snapshot.GC(*dir, snapshot.GCOptions{
-		KeepLatest: *keep, MaxBytes: *maxBytes, DryRun: *dryRun,
+		KeepLatest: *keep, MaxBytes: *maxBytes, PartMaxAge: *partAge, DryRun: *dryRun,
 	})
 	if err != nil {
 		log.Fatalf("tracegen: gc: %v", err)

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -9,6 +10,7 @@ import (
 	"os/exec"
 	"reflect"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -45,7 +47,7 @@ func TestShardWorkerHelper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := BuildShardRange(dir, key, lo, hi, 0, func(u int, rows [][features.NumFeatures]float64) {
+	if err := BuildShardRange(context.Background(), dir, key, lo, hi, 0, func(u int, rows [][features.NumFeatures]float64) {
 		pop.Users[u].FillSeries(rows)
 	}); err != nil {
 		t.Fatal(err)
@@ -77,7 +79,7 @@ func TestCrossProcessShardBuild(t *testing.T) {
 
 	// (b) in-process distributed build: three part writers + merge.
 	distDir := t.TempDir()
-	ws, err := MaterializeDistributed(distDir, key, 0, 3, pop.CostWeights(), gen)
+	ws, err := MaterializeDistributed(context.Background(), distDir, key, 0, 3, pop.CostWeights(), gen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,12 +150,12 @@ func TestLoadOrMaterializeWorkers(t *testing.T) {
 		pop.Users[u].FillSeries(rows)
 	}
 	singleDir, distDir := t.TempDir(), t.TempDir()
-	ws, _, err := LoadOrMaterialize(singleDir, key, 0, 0, nil, nil, gen)
+	ws, _, err := LoadOrMaterialize(context.Background(), singleDir, key, 0, 0, nil, nil, gen)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ws.Close()
-	ws, warm, err := LoadOrMaterialize(distDir, key, 5, 4, pop.CostWeights(), nil, gen)
+	ws, warm, err := LoadOrMaterialize(context.Background(), distDir, key, 5, 4, pop.CostWeights(), nil, gen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,10 +174,75 @@ func TestLoadOrMaterializeWorkers(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("workers>1 cold build bytes differ from single-pass build")
 	}
-	if ws, warm, err = LoadOrMaterialize(distDir, key, 5, 4, nil, nil, gen); err != nil || !warm {
+	if ws, warm, err = LoadOrMaterialize(context.Background(), distDir, key, 5, 4, nil, nil, gen); err != nil || !warm {
 		t.Fatalf("second call: warm=%v err=%v", warm, err)
 	}
 	ws.Close()
+}
+
+// TestMaterializeCancelled pins the ctx contract: cancelling a
+// materialization mid-build aborts it with the context's error, seals
+// nothing (no .snap, no part), and leaves no temp files behind — a
+// coordinator deadline or Ctrl-C cannot leak a poisoned store.
+func TestMaterializeCancelled(t *testing.T) {
+	pop, key := popAndKey(t, 30, 2, 11, 6*time.Hour)
+	var built atomic.Int32
+	newGen := func(ctx context.Context, cancel context.CancelFunc) func(u int, rows [][features.NumFeatures]float64) {
+		return func(u int, rows [][features.NumFeatures]float64) {
+			if built.Add(1) == 3 {
+				cancel() // die mid-population, from inside generation
+			}
+			pop.Users[u].FillSeries(rows)
+		}
+	}
+	assertNothingSealed := func(t *testing.T, dir string) {
+		t.Helper()
+		if _, err := os.Stat(key.Path(dir)); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("cancelled build sealed a snapshot: %v", err)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			t.Fatalf("cancelled build left %s behind", e.Name())
+		}
+	}
+
+	t.Run("sharded", func(t *testing.T) {
+		dir := t.TempDir()
+		built.Store(0)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		// Shard granularity 1 so the per-shard ctx check fires right
+		// after the cancelling user, deterministically.
+		_, err := MaterializeSharded(ctx, dir, key, 1, newGen(ctx, cancel))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		assertNothingSealed(t, dir)
+	})
+	t.Run("distributed", func(t *testing.T) {
+		dir := t.TempDir()
+		built.Store(0)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		_, err := MaterializeDistributed(ctx, dir, key, 1, 3, nil, newGen(ctx, cancel))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		assertNothingSealed(t, dir)
+	})
+	t.Run("shard-range", func(t *testing.T) {
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // already dead before the first record
+		err := BuildShardRange(ctx, dir, key, 0, 10, 1, newGen(ctx, cancel))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		assertNothingSealed(t, dir)
+	})
 }
 
 // TestLoadUserMatrix covers hidsd's O(record) load path: the fetched
@@ -185,7 +252,7 @@ func TestLoadOrMaterializeWorkers(t *testing.T) {
 func TestLoadUserMatrix(t *testing.T) {
 	pop, key := popAndKey(t, 9, 2, 5, 6*time.Hour)
 	dir := t.TempDir()
-	ws, err := MaterializeSharded(dir, key, 0, func(u int, rows [][features.NumFeatures]float64) {
+	ws, err := MaterializeSharded(context.Background(), dir, key, 0, func(u int, rows [][features.NumFeatures]float64) {
 		pop.Users[u].FillSeries(rows)
 	})
 	if err != nil {

@@ -22,6 +22,7 @@ package analysis
 //     generator.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -59,7 +60,7 @@ func (w *Workspace) Save(dir string, key snapshot.Key) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if err := writeRecords(wr, w.users, DefaultShardUsers, func(u int, rec []float64) {
+	if err := writeRecords(context.Background(), wr, w.users, DefaultShardUsers, func(u int, rec []float64) {
 		copy(rowsView(rec, lay), w.matrices[u].Rows)
 		fillDerived(rec, lay)
 	}); err != nil {
@@ -135,7 +136,10 @@ func Load(dir string, key snapshot.Key) (*Workspace, error) {
 // (or a wrong-length slice) means equal user counts. Only the range
 // boundaries depend on it — the sealed store is byte-identical for
 // any weights.
-func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers, workers int, weights []float64, warn func(stage string, err error), generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
+// ctx bounds the cold build only (the warm map is nearly
+// instantaneous): a coordinator deadline or Ctrl-C cancels in-flight
+// part builds instead of leaking them.
+func LoadOrMaterialize(ctx context.Context, dir string, key snapshot.Key, shardUsers, workers int, weights []float64, warn func(stage string, err error), generate func(u int, rows [][features.NumFeatures]float64)) (ws *Workspace, warm bool, err error) {
 	ws, lerr := Load(dir, key)
 	if lerr == nil {
 		return ws, true, nil
@@ -144,9 +148,9 @@ func LoadOrMaterialize(dir string, key snapshot.Key, shardUsers, workers int, we
 		warn("load", lerr)
 	}
 	if workers > 1 {
-		ws, err = MaterializeDistributed(dir, key, shardUsers, workers, weights, generate)
+		ws, err = MaterializeDistributed(ctx, dir, key, shardUsers, workers, weights, generate)
 	} else {
-		ws, err = MaterializeSharded(dir, key, shardUsers, generate)
+		ws, err = MaterializeSharded(ctx, dir, key, shardUsers, generate)
 	}
 	if err != nil && warn != nil {
 		warn("materialize", err)
@@ -180,13 +184,16 @@ func LoadUserMatrix(dir string, key snapshot.Key, u int) (*features.Matrix, erro
 // to separate processes (or hosts sharing a filesystem) and each pays
 // only its slice of the generation cost. snapshot.MergeShards seals
 // the parts into the canonical snapshot once all ranges exist.
-func BuildShardRange(dir string, key snapshot.Key, lo, hi, shardUsers int, generate func(u int, rows [][features.NumFeatures]float64)) error {
+// ctx aborts the build between (and inside) generation shards: on
+// cancellation the part writer is aborted — its temp file removed,
+// nothing sealed — and ctx's error returned.
+func BuildShardRange(ctx context.Context, dir string, key snapshot.Key, lo, hi, shardUsers int, generate func(u int, rows [][features.NumFeatures]float64)) error {
 	wr, err := snapshot.CreateShard(dir, key, lo, hi)
 	if err != nil {
 		return err
 	}
 	lay := wr.Layout()
-	if err := writeRecordsRange(wr, lo, hi, shardUsers, func(u int, rec []float64) {
+	if err := writeRecordsRange(ctx, wr, lo, hi, shardUsers, func(u int, rec []float64) {
 		generate(u, rowsView(rec, lay))
 		fillDerived(rec, lay)
 	}); err != nil {
@@ -209,25 +216,40 @@ func BuildShardRange(dir string, key snapshot.Key, lo, hi, shardUsers int, gener
 // siblings, while weight-balanced ranges even the wall-clock out. nil
 // or wrong-length weights fall back to equal counts. The cut never
 // changes the sealed bytes, only which worker produces which part.
-func MaterializeDistributed(dir string, key snapshot.Key, shardUsers, workers int, weights []float64, generate func(u int, rows [][features.NumFeatures]float64)) (*Workspace, error) {
+// ctx cancellation aborts every in-flight part build; the first
+// worker error likewise cancels its siblings, so a failed distributed
+// build releases its goroutines promptly instead of letting the
+// surviving workers generate records nobody will merge.
+func MaterializeDistributed(ctx context.Context, dir string, key snapshot.Key, shardUsers, workers int, weights []float64, generate func(u int, rows [][features.NumFeatures]float64)) (*Workspace, error) {
 	workers = par.Workers(workers, key.Users)
 	if workers < 2 {
-		return MaterializeSharded(dir, key, shardUsers, generate)
+		return MaterializeSharded(ctx, dir, key, shardUsers, generate)
 	}
 	if len(weights) != key.Users {
 		weights = make([]float64, key.Users) // zero total → equal counts
 	}
 	cuts := snapshot.CutRanges(weights, workers)
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
 	errs := make([]error, len(cuts))
 	for i, r := range cuts {
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			errs[i] = BuildShardRange(dir, key, lo, hi, shardUsers, generate)
+			if errs[i] = BuildShardRange(bctx, dir, key, lo, hi, shardUsers, generate); errs[i] != nil {
+				cancel()
+			}
 		}(i, r[0], r[1])
 	}
 	wg.Wait()
+	// Prefer a real build failure over the context errors the
+	// cancelled siblings report in its wake.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -248,13 +270,16 @@ func MaterializeDistributed(dir string, key snapshot.Key, shardUsers, workers in
 // shardUsers (<= 0 means DefaultShardUsers): the shard buffer is the
 // only population-sized state ever resident, so peak heap stays
 // O(shardUsers) while populations of 20k–100k users stream to disk.
-func MaterializeSharded(dir string, key snapshot.Key, shardUsers int, generate func(u int, rows [][features.NumFeatures]float64)) (*Workspace, error) {
+// ctx cancellation aborts the build between generation shards (and
+// skips remaining per-user fills inside one): the writer's temp file
+// is removed and ctx's error returned — no partial snapshot can seal.
+func MaterializeSharded(ctx context.Context, dir string, key snapshot.Key, shardUsers int, generate func(u int, rows [][features.NumFeatures]float64)) (*Workspace, error) {
 	wr, err := snapshot.Create(dir, key)
 	if err != nil {
 		return nil, err
 	}
 	lay := wr.Layout()
-	if err := writeRecords(wr, key.Users, shardUsers, func(u int, rec []float64) {
+	if err := writeRecords(ctx, wr, key.Users, shardUsers, func(u int, rec []float64) {
 		generate(u, rowsView(rec, lay))
 		fillDerived(rec, lay)
 	}); err != nil {
@@ -278,12 +303,16 @@ type recordAppender interface {
 // writeRecords pulls user records through fill in bounded shards and
 // appends them to the writer in user order. One shard buffer is
 // reused for the whole run; fill runs on the shared worker pool.
-func writeRecords(wr *snapshot.Writer, users, shardUsers int, fill func(u int, rec []float64)) error {
-	return writeRecordsRange(wr, 0, users, shardUsers, fill)
+func writeRecords(ctx context.Context, wr *snapshot.Writer, users, shardUsers int, fill func(u int, rec []float64)) error {
+	return writeRecordsRange(ctx, wr, 0, users, shardUsers, fill)
 }
 
 // writeRecordsRange is writeRecords over the user range [lo, hi).
-func writeRecordsRange(wr recordAppender, lo, hi, shardUsers int, fill func(u int, rec []float64)) error {
+// Cancellation is honored at shard granularity for the append (a
+// partially filled shard is never written) and at user granularity
+// inside the parallel fill (remaining fills become no-ops), so a
+// cancelled build stops within roughly one user's generation time.
+func writeRecordsRange(ctx context.Context, wr recordAppender, lo, hi, shardUsers int, fill func(u int, rec []float64)) error {
 	if shardUsers <= 0 {
 		shardUsers = DefaultShardUsers
 	}
@@ -296,8 +325,14 @@ func writeRecordsRange(wr recordAppender, lo, hi, shardUsers int, fill func(u in
 		n := min(shardUsers, hi-base)
 		chunk := buf[:n*rf]
 		par.ForEach(n, 0, func(i int) {
+			if ctx.Err() != nil {
+				return
+			}
 			fill(base+i, chunk[i*rf:(i+1)*rf:(i+1)*rf])
 		})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := wr.AppendUsers(chunk); err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"reflect"
 	"testing"
@@ -150,7 +151,7 @@ func TestMaterializeShardedBitIdentical(t *testing.T) {
 	}
 	for _, shard := range shards {
 		dir := t.TempDir()
-		ws, err := MaterializeSharded(dir, key, shard, func(u int, rows [][features.NumFeatures]float64) {
+		ws, err := MaterializeSharded(context.Background(), dir, key, shard, func(u int, rows [][features.NumFeatures]float64) {
 			pop.Users[u].FillSeries(rows)
 		})
 		if err != nil {

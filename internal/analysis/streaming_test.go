@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"sync"
@@ -22,7 +23,7 @@ func streamedPair(t *testing.T, users int, seed uint64, shardUsers int) (whole, 
 	gen := func(u int, rows [][features.NumFeatures]float64) {
 		pop.Users[u].FillSeries(rows)
 	}
-	ws, err := MaterializeSharded(dir, key, 0, gen)
+	ws, err := MaterializeSharded(context.Background(), dir, key, 0, gen)
 	if err != nil {
 		t.Fatal(err)
 	}

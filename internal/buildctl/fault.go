@@ -1,0 +1,163 @@
+package buildctl
+
+import (
+	"context"
+	"errors"
+	"os"
+	"time"
+
+	"repro/internal/snapshot"
+	"repro/internal/xrand"
+)
+
+// Fault is one injectable worker failure mode.
+type Fault int
+
+const (
+	FaultNone    Fault = iota
+	FaultCrash         // fail before sealing anything (crash-before-seal)
+	FaultHang          // block until the attempt is cancelled
+	FaultSlow          // add SlowDelay of latency, then build normally
+	FaultCorrupt       // build and seal, then flip a byte in the sealed part
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultHang:
+		return "hang"
+	case FaultSlow:
+		return "slow"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// FaultPlan is a seeded schedule of injected worker faults. The draw
+// for an attempt is a pure function of (Seed, Lo, Hi, Attempt): the
+// same plan over the same ranges injects the same faults regardless
+// of scheduling, which is what makes chaos runs reproducible.
+//
+// Crash, Hang, Slow and Corrupt are cumulative probabilities of the
+// respective fault (their sum must be ≤ 1; the remainder is a clean
+// build). Script, when non-nil, replaces the seeded draw entirely —
+// tests use it to hang exactly one attempt or poison exactly one
+// range.
+type FaultPlan struct {
+	Seed                       uint64
+	Crash, Hang, Slow, Corrupt float64
+	// SlowDelay is the latency FaultSlow injects (default 50ms).
+	SlowDelay time.Duration
+	// Limit, when > 0, exempts attempt numbers >= Limit from faults,
+	// bounding the injected faults per range so every plan converges
+	// once the coordinator's MaxAttempts exceeds it.
+	Limit int
+	// Script overrides the seeded draw when non-nil (Limit still
+	// applies).
+	Script func(t Task) Fault
+}
+
+// draw decides the fault injected into one attempt.
+func (p FaultPlan) draw(t Task) Fault {
+	if p.Limit > 0 && t.Attempt >= p.Limit {
+		return FaultNone
+	}
+	if p.Script != nil {
+		return p.Script(t)
+	}
+	// One throwaway seeded stream per (range, attempt): deterministic
+	// under any dispatch order, no shared state to lock.
+	h := p.Seed
+	for _, v := range [...]uint64{uint64(t.Lo), uint64(t.Hi), uint64(t.Attempt)} {
+		h = (h ^ v) * 0x9e3779b97f4a7c15
+		h ^= h >> 32
+	}
+	u := xrand.New(h).Float64()
+	switch {
+	case u < p.Crash:
+		return FaultCrash
+	case u < p.Crash+p.Hang:
+		return FaultHang
+	case u < p.Crash+p.Hang+p.Slow:
+		return FaultSlow
+	case u < p.Crash+p.Hang+p.Slow+p.Corrupt:
+		return FaultCorrupt
+	}
+	return FaultNone
+}
+
+// ErrInjectedCrash is the error a FaultCrash attempt reports; tests
+// and logs can tell injected failures from organic ones.
+var ErrInjectedCrash = errors.New("buildctl: injected crash before seal")
+
+// FaultyWorker wraps a Worker with a FaultPlan — the chaos harness of
+// the convergence suite and the build-chaos smoke. Crash fails before
+// delegating (nothing sealed), Hang parks on ctx (only an attempt
+// deadline or a hedge win frees the slot), Slow sleeps then delegates,
+// Corrupt delegates then flips one payload byte of the sealed part —
+// modeling storage corruption after a worker believed it sealed sound
+// bytes, the case only VerifyPart can catch.
+type FaultyWorker struct {
+	Inner Worker
+	Plan  FaultPlan
+	// Dir and Key locate sealed parts for FaultCorrupt.
+	Dir string
+	Key snapshot.Key
+}
+
+// Build implements Worker.
+func (w *FaultyWorker) Build(ctx context.Context, t Task) error {
+	switch w.Plan.draw(t) {
+	case FaultCrash:
+		return ErrInjectedCrash
+	case FaultHang:
+		<-ctx.Done()
+		return ctx.Err()
+	case FaultSlow:
+		delay := w.Plan.SlowDelay
+		if delay <= 0 {
+			delay = 50 * time.Millisecond
+		}
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case FaultCorrupt:
+		if err := w.Inner.Build(ctx, t); err != nil {
+			return err
+		}
+		corruptPart(w.Key.PartPath(w.Dir, t.Lo, t.Hi))
+		return nil // the worker believes it succeeded
+	}
+	return w.Inner.Build(ctx, t)
+}
+
+// corruptPart flips one byte in the middle of a sealed part in place.
+// Best effort: if a hedged duplicate already replaced or removed the
+// file there is nothing left to corrupt, which is fine — the fault
+// modeled here is silent bit damage, not a guaranteed detection case.
+func corruptPart(path string) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return
+	}
+	var b [1]byte
+	off := st.Size() / 2
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return
+	}
+	b[0] ^= 0x20
+	f.WriteAt(b[:], off)
+}

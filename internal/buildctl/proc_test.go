@@ -1,0 +1,126 @@
+package buildctl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/snapshot"
+)
+
+// TestBuildctlWorkerHelper is not a test: it is the subprocess worker
+// body the ExecWorker tests re-exec, speaking the tracegen
+// -shard-range protocol — retryable/fatal exit codes and a one-line
+// JSON RangeResult on stdout. Without the env contract it skips.
+func TestBuildctlWorkerHelper(t *testing.T) {
+	dir := os.Getenv("REPRO_BUILDCTL_HELPER_DIR")
+	if dir == "" {
+		t.Skip("helper mode: only runs re-exec'd by the ExecWorker tests")
+	}
+	if os.Getenv("REPRO_BUILDCTL_HELPER_FATAL") != "" {
+		fmt.Fprintln(os.Stderr, "injected fatal config error")
+		os.Exit(ExitFatal)
+	}
+	attempt, _ := strconv.Atoi(os.Getenv("REPRO_BUILDCTL_HELPER_ATTEMPT"))
+	failBelow, _ := strconv.Atoi(os.Getenv("REPRO_BUILDCTL_HELPER_FAIL_BELOW"))
+	if attempt < failBelow {
+		fmt.Fprintln(os.Stderr, "injected retryable worker crash")
+		os.Exit(ExitRetryable)
+	}
+	users, err := strconv.Atoi(os.Getenv("REPRO_BUILDCTL_HELPER_USERS"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad REPRO_BUILDCTL_HELPER_USERS")
+		os.Exit(ExitFatal)
+	}
+	var lo, hi int
+	if n, err := fmt.Sscanf(os.Getenv("REPRO_BUILDCTL_HELPER_RANGE"), "%d:%d", &lo, &hi); n != 2 || err != nil {
+		fmt.Fprintln(os.Stderr, "bad REPRO_BUILDCTL_HELPER_RANGE")
+		os.Exit(ExitFatal)
+	}
+	pop, key := testPop(t, users)
+	start := time.Now()
+	if err := analysis.BuildShardRange(context.Background(), dir, key, lo, hi, 0, genFor(pop)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(ExitRetryable)
+	}
+	info, err := snapshot.VerifyPart(dir, key, lo, hi)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(ExitRetryable)
+	}
+	out, err := json.Marshal(RangeResult{
+		Lo: lo, Hi: hi, Bytes: info.Bytes,
+		CRC:       fmt.Sprintf("%08x", info.CRC),
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+func helperWorker(t *testing.T, dir string, users int, extraEnv ...string) *ExecWorker {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ExecWorker{Command: func(ctx context.Context, tk Task) *exec.Cmd {
+		cmd := exec.CommandContext(ctx, exe, "-test.run", "^TestBuildctlWorkerHelper$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			"REPRO_BUILDCTL_HELPER_DIR="+dir,
+			"REPRO_BUILDCTL_HELPER_USERS="+strconv.Itoa(users),
+			fmt.Sprintf("REPRO_BUILDCTL_HELPER_RANGE=%d:%d", tk.Lo, tk.Hi),
+			"REPRO_BUILDCTL_HELPER_ATTEMPT="+strconv.Itoa(tk.Attempt),
+		)
+		cmd.Env = append(cmd.Env, extraEnv...)
+		return cmd
+	}}
+}
+
+// TestCoordinatorExecWorker drives genuinely separate worker
+// processes through the coordinator: every range's first attempt
+// exits ExitRetryable (a worker crash as the OS sees it), the retries
+// rebuild, and the merged store is byte-identical to the clean
+// single-process build.
+func TestCoordinatorExecWorker(t *testing.T) {
+	const users = 24
+	pop, key := testPop(t, users)
+	want, wantMan := wantBytes(t, pop, key)
+	dir := t.TempDir()
+	st, err := Build(context.Background(), Options{
+		Dir: dir, Key: key,
+		Worker:   helperWorker(t, dir, users, "REPRO_BUILDCTL_HELPER_FAIL_BELOW=1"),
+		Parallel: 2, Ranges: 2,
+		MaxAttempts: 4, Backoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("cross-process build: %v (stats %+v)", err, st)
+	}
+	if st.Failures < 2 || st.Attempts < 4 {
+		t.Fatalf("expected every range's first attempt to fail: %+v", st)
+	}
+	assertSealedIdentical(t, dir, key, want, wantMan)
+}
+
+// TestCoordinatorExecWorkerFatal pins the exit-code split: a worker
+// exiting ExitFatal aborts the build instead of retrying.
+func TestCoordinatorExecWorkerFatal(t *testing.T) {
+	const users = 6
+	_, key := testPop(t, users)
+	dir := t.TempDir()
+	_, err := Build(context.Background(), Options{
+		Dir: dir, Key: key,
+		Worker:   helperWorker(t, dir, users, "REPRO_BUILDCTL_HELPER_FATAL=1"),
+		Parallel: 1, Ranges: 1,
+	})
+	if err == nil || !IsFatal(err) {
+		t.Fatalf("err = %v, want fatal abort on ExitFatal", err)
+	}
+}

@@ -18,6 +18,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -297,7 +298,7 @@ func openFleetSnapshot(cfg Config) (*analysis.Workspace, int) {
 	if err != nil {
 		return nil, fallbacks
 	}
-	ws, _, err := analysis.LoadOrMaterialize(cfg.SnapshotDir, key, 0, 0, pop.CostWeights(), warn,
+	ws, _, err := analysis.LoadOrMaterialize(context.Background(), cfg.SnapshotDir, key, 0, 0, pop.CostWeights(), warn,
 		func(u int, rows [][features.NumFeatures]float64) {
 			pop.Users[u].FillSeries(rows)
 		})

@@ -1,0 +1,151 @@
+package snapshot
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGCPartAging covers the abandoned-build sweep: pending parts and
+// quarantined *.bad corpses older than PartMaxAge go, fresh ones stay
+// (a live or resumable build keeps its work), and a *.bad whose
+// snapshot already sealed goes regardless of age.
+func TestGCPartAging(t *testing.T) {
+	dir := t.TempDir()
+	old := time.Now().Add(-2 * DefaultPartMaxAge)
+	age := func(path string) {
+		t.Helper()
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(path string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pendingKey := testKey(7, 1, 6*time.Hour)
+	freshPart := pendingKey.PartPath(dir, 0, 3)
+	stalePart := pendingKey.PartPath(dir, 3, 7)
+	freshBad := pendingKey.PartPath(dir, 0, 3) + QuarantineSuffix
+	staleBad := pendingKey.PartPath(dir, 3, 7) + QuarantineSuffix
+	mk(freshPart)
+	mk(stalePart)
+	mk(freshBad)
+	mk(staleBad)
+	age(stalePart)
+	age(staleBad)
+
+	sealedKey := testKey(4, 1, 6*time.Hour)
+	fillTestRecords(t, dir, sealedKey)
+	sealedBad := sealedKey.PartPath(dir, 0, 2) + QuarantineSuffix
+	mk(sealedBad) // fresh, but its snapshot already sealed
+
+	st, err := GC(dir, GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []string{stalePart, staleBad, sealedBad} {
+		if _, err := os.Stat(gone); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("%s survived GC: %v", filepath.Base(gone), err)
+		}
+	}
+	for _, kept := range []string{freshPart, freshBad} {
+		if _, err := os.Stat(kept); err != nil {
+			t.Fatalf("%s was removed by GC: %v", filepath.Base(kept), err)
+		}
+	}
+	if st.Removed != 3 {
+		t.Fatalf("removed %d files, want 3", st.Removed)
+	}
+
+	// A shorter explicit age sweeps the remaining fresh pair too.
+	if _, err := GC(dir, GCOptions{PartMaxAge: time.Nanosecond}); err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []string{freshPart, freshBad} {
+		if _, err := os.Stat(gone); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("%s survived an explicit PartMaxAge sweep", filepath.Base(gone))
+		}
+	}
+}
+
+// TestVerifyAndQuarantinePart covers the coordinator's resume gate:
+// a sealed part verifies (with the sealed size and CRC reported), a
+// flipped payload byte fails verification, QuarantinePart moves the
+// corpse out of the way, and neither ListParts nor MergeShards ever
+// sees a quarantined file.
+func TestVerifyAndQuarantinePart(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(9, 1, 6*time.Hour)
+	payload := testPayload(key)
+	sealParts(t, dir, key, payload, []int{0, 4, 9})
+
+	info, err := VerifyPart(dir, key, 0, 4)
+	if err != nil {
+		t.Fatalf("VerifyPart on a sound part: %v", err)
+	}
+	if info.Bytes != key.partSize(0, 4) || info.CRC == 0 {
+		t.Fatalf("PartInfo not filled: %+v", info)
+	}
+
+	// Flip one payload byte: header and table still read fine, the
+	// streaming payload pass must catch it.
+	f, err := os.OpenFile(info.Path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	off := int64(partHdrBytes) + info.Bytes/2
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := VerifyPart(dir, key, 0, 4); err == nil {
+		t.Fatal("VerifyPart accepted a corrupt payload")
+	}
+
+	bad, err := QuarantinePart(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(bad, QuarantineSuffix) {
+		t.Fatalf("quarantine name %q", bad)
+	}
+	if _, err := os.Stat(bad); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := ListParts(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || parts[0].Lo != 4 || parts[0].Hi != 9 {
+		t.Fatalf("ListParts sees the quarantined part: %+v", parts)
+	}
+	// The merge must refuse (the tiling has a hole), not read *.bad.
+	if _, err := MergeShards(dir, key); err == nil {
+		t.Fatal("MergeShards merged through a quarantined part")
+	}
+
+	// Reseal the missing range; now the merge completes and the store
+	// opens — the corpse never contaminates it.
+	sealParts(t, dir, key, payload, []int{0, 4})
+	if n, err := MergeShards(dir, key); err != nil || n != 2 {
+		t.Fatalf("MergeShards after reseal: n=%d err=%v", n, err)
+	}
+	s, err := Open(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}

@@ -46,9 +46,11 @@ package snapshot
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -297,6 +299,12 @@ func findParts(dir string, key Key) ([]partRange, error) {
 		if _, err := fmt.Sscanf(name[len(prefix):], "%d-%d", &lo, &hi); err != nil {
 			continue
 		}
+		// The suffix must be exactly the range — anything trailing
+		// (a quarantined "….bad", editor droppings) is not a sealed
+		// part and must never reach a merge.
+		if name[len(prefix):] != fmt.Sprintf("%08d-%08d", lo, hi) {
+			continue
+		}
 		parts = append(parts, partRange{path: filepath.Join(dir, name), lo: lo, hi: hi})
 	}
 	sort.Slice(parts, func(i, j int) bool { return parts[i].lo < parts[j].lo })
@@ -497,6 +505,83 @@ func spliceOnePart(dst io.Writer, key Key, p partRange, wantCRC uint32) error {
 		return fmt.Errorf("snapshot: part %s payload checksum %08x != header %08x (corrupt)", filepath.Base(p.path), crc, wantCRC)
 	}
 	return nil
+}
+
+// PartInfo describes one sealed part file of a distributed build.
+// ListParts returns it with only the discovery fields (Path, Lo, Hi)
+// populated; VerifyPart fills Bytes and CRC after proving the part
+// sound end to end.
+type PartInfo struct {
+	Path   string
+	Lo, Hi int    // user range [Lo, Hi)
+	Bytes  int64  // sealed on-disk size (header ∥ payload ∥ CRC table)
+	CRC    uint32 // CRC-32C of the part payload
+}
+
+// ListParts returns the sealed parts of key under dir, sorted by Lo.
+// Discovery only: the parts are not validated (a truncated or corrupt
+// part still lists); callers that need proof run VerifyPart per part.
+// Quarantined "*.bad" files and in-flight temps are never listed.
+func ListParts(dir string, key Key) ([]PartInfo, error) {
+	if err := key.validate(); err != nil {
+		return nil, err
+	}
+	parts, err := findParts(dir, key)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil // no store directory yet: a cold build, not an error
+		}
+		return nil, err
+	}
+	out := make([]PartInfo, len(parts))
+	for i, p := range parts {
+		out[i] = PartInfo{Path: p.path, Lo: p.lo, Hi: p.hi}
+	}
+	return out, nil
+}
+
+// VerifyPart proves one sealed part sound end to end: size, header
+// (against the key and the range), record-CRC table self-checksum,
+// table-vs-payload-checksum consistency, and a full streaming read of
+// the payload against the sealed CRC. It is the resume gate of a
+// fault-tolerant coordinator — only a part that passes may be adopted
+// as done work; anything else is quarantined and rebuilt. The returned
+// PartInfo carries the sealed size and payload CRC.
+func VerifyPart(dir string, key Key, lo, hi int) (PartInfo, error) {
+	if err := key.validate(); err != nil {
+		return PartInfo{}, err
+	}
+	if lo < 0 || hi <= lo || hi > key.Users {
+		return PartInfo{}, fmt.Errorf("snapshot: part range [%d, %d) invalid for %d users", lo, hi, key.Users)
+	}
+	p := partRange{path: key.PartPath(dir, lo, hi), lo: lo, hi: hi}
+	recShift := makeCRCShift(int64(key.Layout().RecordFloats()) * 8)
+	crc, _, err := readPartMeta(key, p, &recShift)
+	if err != nil {
+		return PartInfo{}, err
+	}
+	// readPartMeta proves header and table; the payload bytes
+	// themselves still need one streaming pass against the sealed CRC.
+	if err := spliceOnePart(io.Discard, key, p, crc); err != nil {
+		return PartInfo{}, err
+	}
+	return PartInfo{Path: p.path, Lo: lo, Hi: hi, Bytes: key.partSize(lo, hi), CRC: crc}, nil
+}
+
+// QuarantineSuffix marks a part file that failed verification and was
+// moved out of the build's way. Quarantined files are invisible to
+// ListParts/MergeShards and are reaped by GC once they age out.
+const QuarantineSuffix = ".bad"
+
+// QuarantinePart renames a failed part to its quarantine name and
+// returns that name. An existing quarantine file for the same part is
+// replaced — the newest corpse is the one worth examining.
+func QuarantinePart(path string) (string, error) {
+	bad := path + QuarantineSuffix
+	if err := os.Rename(path, bad); err != nil {
+		return "", fmt.Errorf("snapshot: quarantine: %w", err)
+	}
+	return bad, nil
 }
 
 // MergeShardsStreaming is the independent verify fallback for

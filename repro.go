@@ -21,6 +21,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -240,7 +241,7 @@ func (e *Enterprise) buildWorkspace() *analysis.Workspace {
 			// full disk, … — falls through to the in-memory build
 			// rather than failing the run, but is surfaced through
 			// Warnf so operators can tell a fallback from a warm map.
-			ws, _, err := analysis.LoadOrMaterialize(e.snapDir, key, e.snapShard, e.snapWorkers, e.Pop.CostWeights(),
+			ws, _, err := analysis.LoadOrMaterialize(context.Background(), e.snapDir, key, e.snapShard, e.snapWorkers, e.Pop.CostWeights(),
 				func(stage string, werr error) {
 					e.warnf("snapshot %s fallback (%s): %v", stage, e.snapDir, werr)
 				},
