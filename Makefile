@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke shard-smoke eval-smoke build-chaos-smoke
+.PHONY: all build vet test race verify soak chaos-soak bench bench-check experiments snapshot-smoke shard-smoke eval-smoke build-chaos-smoke remote-chaos-smoke
 
 all: verify
 
@@ -127,6 +127,23 @@ build-chaos-smoke:
 	/tmp/repro-tracegen -snapshot $(BUILD_CHAOS_SMOKE_DIR) -users 40 -weeks 2 -seed 7 -coordinate -workers 2 -ranges 4 -fault "$(BUILD_CHAOS_FAULTS)" -fault-seed 11 -retries 6
 	REPRO_SNAPSHOT_DIR=$(BUILD_CHAOS_SMOKE_DIR) $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestEnterprise' .
 	/tmp/repro-tracegen gc -snapshot $(BUILD_CHAOS_SMOKE_DIR) -keep 2 -part-age 1ns -dry-run
+
+# remote-chaos-smoke proves the multi-host build transport end to end
+# at the process level: two `tracegen -serve` daemons on loopback, a
+# `-coordinate -hosts` build streaming sealed parts from them, one
+# daemon SIGKILLed mid-stream, a halt + resume against the survivor,
+# and a second suite key built with the dead host still listed; the
+# golden + equivalence suites then run warm through the merged store —
+# so the suites' pinned outputs certify that remotely built,
+# killed-mid-stream, resumed parts sealed the exact clean bytes.
+# `tracegen gc -dry-run` sweeps the store at the end as a lifecycle
+# smoke.
+REMOTE_CHAOS_SMOKE_DIR ?= /tmp/repro-remote-chaos-smoke
+remote-chaos-smoke:
+	$(GO) build -o /tmp/repro-tracegen ./cmd/tracegen
+	TRACEGEN=/tmp/repro-tracegen ./scripts/remote_chaos_smoke.sh $(REMOTE_CHAOS_SMOKE_DIR)
+	REPRO_SNAPSHOT_DIR=$(REMOTE_CHAOS_SMOKE_DIR)/store $(GO) test -count=1 -run 'TestGolden|TestWorkspace|TestFig|TestTable|TestEnterprise' .
+	/tmp/repro-tracegen gc -snapshot $(REMOTE_CHAOS_SMOKE_DIR)/store -keep 2 -dry-run
 
 experiments:
 	$(GO) run ./cmd/experiments

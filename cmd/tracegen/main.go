@@ -47,6 +47,27 @@
 // smoke-testing the coordinator against itself; -halt-after N stops
 // after N newly sealed parts to exercise resumption.
 //
+// Multi-host builds move the workers to other machines. Each worker
+// host runs a daemon; the coordinator dispatches ranges to them over
+// the internal/remotework transport and streams the sealed parts
+// back into its own store:
+//
+//	tracegen -snapshot SCRATCH -serve 0.0.0.0:9470                  # worker hosts
+//	tracegen -snapshot DIR -users 100000 -coordinate \
+//	    -hosts hosta:9470,hostb:9470                                # coordinator
+//
+// Streamed parts are CRC-checked chunk by chunk and resume from the
+// received offset after a reconnect, so a daemon killed mid-stream
+// costs only the missing tail. Hung hosts are detected by heartbeat
+// and fail into the hedge path; repeat offenders are quarantined and
+// re-admitted after probation; observed per-host throughput feeds the
+// coordinator's range re-cuts. On exit, -coordinate -hosts prints a
+// one-line JSON transport summary (per-host attempts, heartbeat
+// misses, bytes streamed and re-streamed, final weights). -serve
+// takes -addr-file (write the bound address, for :0 ports) and
+// -serve-delay (slow builds down for chaos-smoke kill windows);
+// -chunk sets the stream chunk size.
+//
 // The store itself is managed with the gc subcommand:
 //
 //	tracegen gc -snapshot DIR [-keep N] [-max-bytes B] [-part-age D] [-dry-run]
@@ -64,6 +85,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,6 +98,7 @@ import (
 	"repro/internal/buildctl"
 	"repro/internal/features"
 	"repro/internal/netsim"
+	"repro/internal/remotework"
 	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
@@ -104,13 +127,18 @@ func main() {
 	haltAfter := flag.Int("halt-after", 0, "coordinate: stop after N newly sealed parts (resumable; 0 = run to completion)")
 	faultSpec := flag.String("fault", "", `coordinate: seeded chaos plan, e.g. "crash=0.3,slow=0.2,hang=0.1,corrupt=0.1,limit=2,slowms=50"`)
 	faultSeed := flag.Uint64("fault-seed", 1, "coordinate: seed for -fault draws and retry jitter")
+	serve := flag.String("serve", "", "daemon mode: listen on ADDR and build/stream snapshot parts for remote coordinators (requires -snapshot as the scratch store)")
+	addrFile := flag.String("addr-file", "", "serve: write the bound listen address to this file (useful with :0 ephemeral ports)")
+	serveDelay := flag.Duration("serve-delay", 0, "serve: artificial delay per built user (widens chaos-smoke kill windows)")
+	hosts := flag.String("hosts", "", "coordinate: comma-separated daemon addresses to dispatch ranges to instead of building in-process")
+	chunk := flag.Int("chunk", 0, "coordinate -hosts: part stream chunk size in bytes (0 = default)")
 	flag.Parse()
-	if *out == "" && *snapDir == "" {
+	if *serve == "" && *out == "" && *snapDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if (*shardRange != "" || *merge || *coordinate) && *snapDir == "" {
-		log.Fatalf("tracegen: -shard-range, -merge and -coordinate need -snapshot")
+	if (*shardRange != "" || *merge || *coordinate || *serve != "") && *snapDir == "" {
+		log.Fatalf("tracegen: -shard-range, -merge, -coordinate and -serve need -snapshot")
 	}
 
 	// Ctrl-C / SIGTERM cancels in-flight builds cleanly: part writers
@@ -118,6 +146,11 @@ func main() {
 	// -coordinate build resumes from its verified parts next run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *serve != "" {
+		runServe(ctx, *serve, *snapDir, *addrFile, *serveDelay)
+		return
+	}
 
 	pop, err := trace.NewPopulation(trace.Config{
 		Users:    *users,
@@ -144,6 +177,7 @@ func main() {
 			retries: *retries, attemptTimeout: *attemptTimeout,
 			hedgeAfter: *hedgeAfter, haltAfter: *haltAfter,
 			faultSpec: *faultSpec, faultSeed: *faultSeed,
+			hosts: *hosts, chunk: *chunk,
 		})
 		return
 	case *snapDir != "":
@@ -293,6 +327,61 @@ type coordOptions struct {
 	haltAfter              int
 	faultSpec              string
 	faultSeed              uint64
+	hosts                  string
+	chunk                  int
+}
+
+// runServe is daemon mode: serve remote build sessions until the
+// process is signalled. The -snapshot directory is the scratch store;
+// parts sealed there double as the resume cache for reconnecting
+// coordinators.
+func runServe(ctx context.Context, addr, dir, addrFile string, delay time.Duration) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatalf("tracegen: %v", err)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("tracegen: serve: %v", err)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(l.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("tracegen: serve: %v", err)
+		}
+	}
+	d := &remotework.Daemon{Dir: dir, BuildDelay: delay, Logf: log.Printf}
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	log.Printf("tracegen: serving remote builds on %s (scratch %s)", l.Addr(), dir)
+	err = d.Serve(l)
+	if ctx.Err() != nil {
+		return
+	}
+	log.Fatalf("tracegen: serve: %v", err)
+}
+
+// remotePool wires the -hosts list into a remotework.Pool worker.
+func remotePool(pop *trace.Population, dir string, key snapshot.Key, o coordOptions) *remotework.Pool {
+	var hs []remotework.Host
+	for _, a := range strings.Split(o.hosts, ",") {
+		addr := strings.TrimSpace(a)
+		if addr == "" {
+			continue
+		}
+		hs = append(hs, remotework.Host{Name: addr, Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}})
+	}
+	if len(hs) == 0 {
+		log.Fatalf("tracegen: -hosts %q names no hosts", o.hosts)
+	}
+	return &remotework.Pool{
+		Dir: dir, Key: key, Cfg: pop.Cfg, Hosts: hs,
+		ChunkBytes: o.chunk, Seed: o.faultSeed,
+		BaseWeights: pop.CostWeights(), Logf: log.Printf,
+	}
 }
 
 // parseFaultPlan decodes the -fault spec: comma-separated key=value
@@ -355,6 +444,15 @@ func coordinateBuild(ctx context.Context, pop *trace.Population, dir string, o c
 			pop.Users[u].FillSeries(rows)
 		},
 	}
+	var pool *remotework.Pool
+	var weightsFn func() []float64
+	if o.hosts != "" {
+		pool = remotePool(pop, dir, key, o)
+		worker = pool
+		// Observed per-host throughput steers the coordinator's
+		// re-cuts toward the users that actually cost the most.
+		weightsFn = pool.WeightsFn
+	}
 	if o.faultSpec != "" {
 		plan, err := parseFaultPlan(o.faultSpec, o.faultSeed)
 		if err != nil {
@@ -362,10 +460,22 @@ func coordinateBuild(ctx context.Context, pop *trace.Population, dir string, o c
 		}
 		worker = &buildctl.FaultyWorker{Inner: worker, Plan: plan, Dir: dir, Key: key}
 	}
+	summary := func() {
+		if pool == nil {
+			return
+		}
+		js, err := json.Marshal(pool.Summary())
+		if err != nil {
+			log.Printf("tracegen: encoding transport summary: %v", err)
+			return
+		}
+		fmt.Println(string(js))
+	}
 	start := time.Now()
 	st, err := buildctl.Build(ctx, buildctl.Options{
 		Dir: dir, Key: key, Worker: worker,
 		Parallel: o.workers, Ranges: o.ranges, Weights: pop.CostWeights(),
+		WeightsFn:  weightsFn,
 		ShardUsers: o.shard, MaxAttempts: o.retries,
 		AttemptTimeout: o.attemptTimeout, HedgeAfter: o.hedgeAfter,
 		Seed: o.faultSeed, HaltAfter: o.haltAfter,
@@ -373,15 +483,18 @@ func coordinateBuild(ctx context.Context, pop *trace.Population, dir string, o c
 	})
 	switch {
 	case errors.Is(err, buildctl.ErrHalted):
+		summary()
 		fmt.Printf("%s: halted after %d newly sealed parts (attempts=%d failures=%d); rerun to resume\n",
 			key.Path(dir), st.SealedParts, st.Attempts, st.Failures)
 		return
 	case err != nil:
+		summary()
 		log.Fatalf("tracegen: coordinated build: %v", err)
 	case st.Warm:
 		fmt.Printf("%s: warm, nothing to coordinate\n", key.Path(dir))
 		return
 	}
+	summary()
 	fmt.Printf("%s: coordinated build merged %d parts (attempts=%d failures=%d hedges=%d recuts=%d resumed=%d quarantined=%d rebuilt=%d users) in %v\n",
 		key.Path(dir), st.MergedParts, st.Attempts, st.Failures, st.Hedges,
 		st.Recuts, st.ResumedParts, st.QuarantinedParts, st.RebuiltUsers,

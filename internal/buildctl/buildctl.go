@@ -58,6 +58,13 @@ type Options struct {
 	// wrong-length slice means equal user counts. As everywhere else,
 	// weights change worker assignment, never sealed bytes.
 	Weights []float64
+	// WeightsFn, when non-nil, is consulted instead of Weights every
+	// time ranges are cut — at the resume scan and at every re-cut —
+	// so a transport that observes per-host throughput can steer later
+	// cuts while a build is running. It must return one non-negative
+	// weight per user (anything else falls back to Weights). Called
+	// from the event-loop goroutine only.
+	WeightsFn func() []float64
 	// ShardUsers is advisory geometry recorded for workers that want
 	// it (LocalWorker takes its own); kept here so a coordinator can
 	// be described by one struct.
@@ -227,6 +234,7 @@ type coordinator struct {
 	st        *Stats
 	rng       *xrand.Source // jitter; event-loop goroutine only
 	ranges    map[[2]int]*rangeState
+	attempts  map[int]*attemptState // every in-flight attempt by id
 	results   chan attemptResult
 	durations []time.Duration // completed successful attempt durations
 	inflight  int
@@ -237,11 +245,12 @@ type coordinator struct {
 
 func newCoordinator(opts Options, st *Stats) *coordinator {
 	return &coordinator{
-		opts:    opts,
-		st:      st,
-		rng:     xrand.New(opts.Seed ^ 0xb171dc71c0ffee01),
-		ranges:  make(map[[2]int]*rangeState),
-		results: make(chan attemptResult, 2*opts.Parallel+4),
+		opts:     opts,
+		st:       st,
+		rng:      xrand.New(opts.Seed ^ 0xb171dc71c0ffee01),
+		ranges:   make(map[[2]int]*rangeState),
+		attempts: make(map[int]*attemptState),
+		results:  make(chan attemptResult, 2*opts.Parallel+4),
 	}
 }
 
@@ -310,7 +319,14 @@ func (c *coordinator) scan() error {
 
 // rangeWeights returns the per-user cost weights of [lo, hi), or an
 // all-zero slice (→ equal-count cuts) when none were supplied.
+// WeightsFn wins over the static Weights so observed-cost feedback
+// reaches re-cuts made mid-build.
 func (c *coordinator) rangeWeights(lo, hi int) []float64 {
+	if c.opts.WeightsFn != nil {
+		if w := c.opts.WeightsFn(); len(w) == c.opts.Key.Users {
+			return w[lo:hi]
+		}
+	}
 	if len(c.opts.Weights) == c.opts.Key.Users {
 		return c.opts.Weights[lo:hi]
 	}
@@ -420,6 +436,7 @@ func (c *coordinator) launch(ctx context.Context, rs *rangeState, hedge bool) {
 	a := &attemptState{id: c.nextID, start: time.Now(), cancel: cancel}
 	c.nextID++
 	rs.running[a.id] = a
+	c.attempts[a.id] = a
 	c.inflight++
 	go func() {
 		err := c.opts.Worker.Build(actx, t)
@@ -436,14 +453,18 @@ func (c *coordinator) launch(ctx context.Context, rs *rangeState, hedge bool) {
 // return aborts the whole build.
 func (c *coordinator) handle(r attemptResult) error {
 	c.inflight--
+	// Cancel through the attempt registry, not the range state: every
+	// result path — including a range re-cut away under a late result —
+	// must release the attempt's context (and its deadline timer).
+	if a := c.attempts[r.id]; a != nil {
+		delete(c.attempts, r.id)
+		a.cancel()
+	}
 	rs := c.ranges[[2]int{r.lo, r.hi}]
 	if rs == nil {
 		return nil // range re-cut away; nothing to account against
 	}
-	if a := rs.running[r.id]; a != nil {
-		delete(rs.running, r.id)
-		a.cancel()
-	}
+	delete(rs.running, r.id)
 	if rs.done {
 		return nil // a sibling (hedge) already completed the range
 	}
@@ -504,14 +525,7 @@ func (c *coordinator) recut(rs *rangeState) {
 }
 
 func (c *coordinator) backoff(failures int) time.Duration {
-	d := c.opts.Backoff
-	for i := 1; i < failures && d < c.opts.BackoffMax; i++ {
-		d *= 2
-	}
-	if d > c.opts.BackoffMax {
-		d = c.opts.BackoffMax
-	}
-	return time.Duration((0.5 + 0.5*c.rng.Float64()) * float64(d))
+	return Retry{Base: c.opts.Backoff, Max: c.opts.BackoffMax}.Delay(failures, c.rng)
 }
 
 // hedgeThreshold is the elapsed time past which a lone running
@@ -568,15 +582,17 @@ func (c *coordinator) maybeHedge(ctx context.Context) {
 // adopted — the part is sealed and sound whether or not anyone waits
 // for it, and resumed builds will find it.
 func (c *coordinator) shutdown() {
-	for _, rs := range c.ranges {
-		for _, a := range rs.running {
-			a.cancel()
-		}
+	for _, a := range c.attempts {
+		a.cancel()
 	}
 	for c.inflight > 0 {
 		r := <-c.results
 		c.inflight--
+		delete(c.attempts, r.id)
 		rs := c.ranges[[2]int{r.lo, r.hi}]
+		if rs != nil {
+			delete(rs.running, r.id)
+		}
 		if rs != nil && !rs.done && r.err == nil {
 			rs.done = true
 			c.covered += rs.hi - rs.lo

@@ -63,6 +63,12 @@ func TestBuildctlWorkerHelper(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Println(string(out))
+	if os.Getenv("REPRO_BUILDCTL_HELPER_NOISE") != "" {
+		// A worker whose logger writes structured JSON to stdout after
+		// the result line — the parsing hazard the garbage test pins.
+		fmt.Printf("{\"level\":\"info\",\"msg\":\"part sealed\",\"lo\":%d,\"hi\":%d}\n", lo, hi)
+		fmt.Println("worker: shutting down")
+	}
 }
 
 func helperWorker(t *testing.T, dir string, users int, extraEnv ...string) *ExecWorker {
@@ -105,6 +111,30 @@ func TestCoordinatorExecWorker(t *testing.T) {
 	}
 	if st.Failures < 2 || st.Attempts < 4 {
 		t.Fatalf("expected every range's first attempt to fail: %+v", st)
+	}
+	assertSealedIdentical(t, dir, key, want, wantMan)
+}
+
+// TestCoordinatorExecWorkerNoisyStdout re-execs workers that append
+// structured JSON log lines after the result line. Before the parsing
+// fix, the last log line decoded as a zero RangeResult and failed the
+// dispatched-range check with a Fatal abort; now the build must
+// complete cleanly.
+func TestCoordinatorExecWorkerNoisyStdout(t *testing.T) {
+	const users = 24
+	pop, key := testPop(t, users)
+	want, wantMan := wantBytes(t, pop, key)
+	dir := t.TempDir()
+	st, err := Build(context.Background(), Options{
+		Dir: dir, Key: key,
+		Worker:   helperWorker(t, dir, users, "REPRO_BUILDCTL_HELPER_NOISE=1"),
+		Parallel: 2, Ranges: 2,
+	})
+	if err != nil {
+		t.Fatalf("build with noisy worker stdout: %v (stats %+v)", err, st)
+	}
+	if st.Failures != 0 {
+		t.Fatalf("noisy stdout burned %d failures (stats %+v)", st.Failures, st)
 	}
 	assertSealedIdentical(t, dir, key, want, wantMan)
 }

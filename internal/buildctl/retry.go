@@ -1,0 +1,37 @@
+package buildctl
+
+import (
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Retry is the backoff policy the coordinator applies between failed
+// attempts, exported so transports (remote workers, reconnect loops)
+// share one delay schedule instead of inventing their own: Base
+// doubles per consecutive failure up to Max, then seeded jitter in
+// [0.5, 1.0)× spreads synchronized failures out.
+type Retry struct {
+	Base time.Duration
+	Max  time.Duration
+}
+
+// Delay returns the wait before retrying after `failures` consecutive
+// failures (>= 1), drawing jitter from rng. A zero policy gets the
+// coordinator defaults (20ms base, 2s cap).
+func (r Retry) Delay(failures int, rng *xrand.Source) time.Duration {
+	if r.Base <= 0 {
+		r.Base = 20 * time.Millisecond
+	}
+	if r.Max <= 0 {
+		r.Max = 2 * time.Second
+	}
+	d := r.Base
+	for i := 1; i < failures && d < r.Max; i++ {
+		d *= 2
+	}
+	if d > r.Max {
+		d = r.Max
+	}
+	return time.Duration((0.5 + 0.5*rng.Float64()) * float64(d))
+}

@@ -107,21 +107,37 @@ type RangeResult struct {
 	ElapsedMS int64  `json:"elapsed_ms"`
 }
 
-// ParseRangeResult decodes the last JSON-object line of a worker's
-// stdout as a RangeResult, tolerating logging noise around it (a
-// re-exec'd test binary, for one, appends PASS after the result).
+// ParseRangeResult decodes the last line of a worker's stdout that
+// unmarshals to a valid RangeResult, tolerating logging noise around
+// it — a re-exec'd test binary appends PASS, and a worker that logs
+// JSON lines ({"level":...}) after the result must not have a log
+// line win. Unknown fields disqualify a line (a structured log line
+// would otherwise decode to a zero result), as does an empty range.
 func ParseRangeResult(out []byte) (RangeResult, error) {
 	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
+	var firstErr error
 	for i := len(lines) - 1; i >= 0; i-- {
 		line := bytes.TrimSpace(lines[i])
 		if len(line) == 0 || line[0] != '{' {
 			continue
 		}
 		var res RangeResult
-		if err := json.Unmarshal(line, &res); err != nil {
-			return RangeResult{}, fmt.Errorf("buildctl: worker result line %q: %w", line, err)
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		err := dec.Decode(&res)
+		if err == nil && res.Hi <= res.Lo {
+			err = fmt.Errorf("empty range [%d, %d)", res.Lo, res.Hi)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("buildctl: worker result line %q: %w", line, err)
+			}
+			continue // a log line that happens to be JSON; keep scanning up
 		}
 		return res, nil
+	}
+	if firstErr != nil {
+		return RangeResult{}, firstErr
 	}
 	return RangeResult{}, errors.New("buildctl: worker printed no result line")
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -294,10 +295,15 @@ func (n *FaultNetwork) tick() int {
 // (plan seed, host, connection index) — failed dials do not consume a
 // stream index, so retry counts never skew the schedule.
 func (n *FaultNetwork) Dial(host int, name string) (net.Conn, error) {
+	return n.DialContext(context.Background(), host, name)
+}
+
+// DialContext is Dial bounded by ctx (see MemNetwork.DialContext).
+func (n *FaultNetwork) DialContext(ctx context.Context, host int, name string) (net.Conn, error) {
 	if tick := n.tick(); n.plan.OfflineAt(host, tick) {
 		return nil, fmt.Errorf("netsim: dial %q from host %d at tick %d: %w", name, host, tick, ErrHostOffline)
 	}
-	conn, err := n.mem.Dial(name)
+	conn, err := n.mem.DialContext(ctx, name)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -66,6 +67,13 @@ func (n *MemNetwork) Listen(name string) (*MemListener, error) {
 // end of the pipe. It fails if nothing is listening or the listener
 // has closed.
 func (n *MemNetwork) Dial(name string) (net.Conn, error) {
+	return n.DialContext(context.Background(), name)
+}
+
+// DialContext is Dial bounded by ctx: a bound listener that never
+// accepts (a hung peer) fails the dial with ctx's error instead of
+// blocking forever — the shape a deadline-driven transport needs.
+func (n *MemNetwork) DialContext(ctx context.Context, name string) (net.Conn, error) {
 	n.mu.Lock()
 	l := n.listeners[name]
 	n.mu.Unlock()
@@ -80,6 +88,10 @@ func (n *MemNetwork) Dial(name string) (net.Conn, error) {
 		_ = client.Close()
 		_ = server.Close()
 		return nil, fmt.Errorf("netsim: dial %q: %w", name, net.ErrClosed)
+	case <-ctx.Done():
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("netsim: dial %q: %w", name, ctx.Err())
 	}
 }
 

@@ -1,0 +1,157 @@
+// Package remotework is the remote build transport: a buildctl.Worker
+// that dispatches shard-range builds to worker daemons over a framed,
+// length-prefixed protocol and streams the sealed part file back in
+// CRC-checked chunks with resume-from-offset on reconnect.
+//
+// The transport treats loss and slowness as the common case. Every
+// RPC carries a deadline; failed sessions retry with the coordinator's
+// exponential backoff + seeded jitter (buildctl.Retry); a daemon
+// heartbeats while its build runs so a hung host is distinguished
+// from a slow one and fails fast into the coordinator's hedge path;
+// hosts that fail repeatedly are quarantined and re-admitted after a
+// probation window; and each host's observed throughput feeds an EWMA
+// that the coordinator's re-cuts consume as cost weights.
+//
+// Trust never moves to the wire: chunks are CRC-checked frame by
+// frame, the reassembled part must match the declared whole-file
+// checksum before it is sealed (snapshot.PartReceiver), and the
+// coordinator still runs snapshot.VerifyPart on every sealed part —
+// exactly as it does for local workers.
+//
+// The protocol runs over anything net.Conn-shaped: real TCP between
+// tracegen processes, or netsim's in-memory fault fabric, where
+// seeded drops, resets, partitions and crash windows exercise the
+// whole stack in-process.
+package remotework
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Frame types. A frame on the wire is: uint32 big-endian payload
+// length, one type byte, then the payload. Every frame is sent with a
+// single Write call, so under netsim's fault fabric a frame is
+// delivered whole or torn at a seeded cut — never interleaved — and
+// the reader either decodes a whole frame or fails cleanly.
+const (
+	mBuild     = byte(1) // client → daemon: JSON buildRequest
+	mHeartbeat = byte(2) // daemon → client: build in flight, empty payload
+	mReady     = byte(3) // daemon → client: JSON readyInfo (part sealed)
+	mFetch     = byte(4) // client → daemon: 8B offset | 4B max bytes
+	mChunk     = byte(5) // daemon → client: 8B offset | 4B CRC-32C | data
+	mErr       = byte(6) // daemon → client: JSON errInfo
+)
+
+// maxFrame bounds a frame payload; a length prefix beyond it means a
+// corrupt or foreign stream, not a big frame.
+const maxFrame = 16 << 20
+
+// buildRequest asks a daemon to seal users [Lo, Hi) of the population
+// the config describes. The config rides fully normalized (defaults
+// applied) so every daemon derives the identical snapshot key.
+type buildRequest struct {
+	Users          int     `json:"users"`
+	Weeks          int     `json:"weeks"`
+	BinWidthMicros int64   `json:"bin_width_us"`
+	Seed           uint64  `json:"seed"`
+	StartMicros    int64   `json:"start_us"`
+	HeavyFraction  float64 `json:"heavy_fraction"`
+	WeeklyTrend    float64 `json:"weekly_trend"`
+	Lo             int     `json:"lo"`
+	Hi             int     `json:"hi"`
+	HeartbeatMS    int64   `json:"heartbeat_ms"`
+}
+
+// readyInfo declares the sealed part's transfer end state.
+type readyInfo struct {
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc"` // CRC-32C of the whole sealed file
+}
+
+// errInfo reports a daemon-side failure. Retryable failures burn one
+// session; permanent ones (a config the daemon cannot build) abort
+// the whole range via buildctl.Fatal.
+type errInfo struct {
+	Retryable bool   `json:"retryable"`
+	Msg       string `json:"msg"`
+}
+
+// writeFrame sends one frame with a single Write, bounded by deadline
+// when positive.
+func writeFrame(c net.Conn, deadline time.Duration, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("remotework: frame payload %d exceeds %d", len(payload), maxFrame)
+	}
+	buf := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	if deadline > 0 {
+		if err := c.SetWriteDeadline(time.Now().Add(deadline)); err != nil {
+			return err
+		}
+		defer c.SetWriteDeadline(time.Time{})
+	}
+	_, err := c.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, bounded by deadline when positive.
+func readFrame(c net.Conn, deadline time.Duration) (typ byte, payload []byte, err error) {
+	if deadline > 0 {
+		if err := c.SetReadDeadline(time.Now().Add(deadline)); err != nil {
+			return 0, nil, err
+		}
+		defer c.SetReadDeadline(time.Time{})
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("remotework: frame length %d exceeds %d (corrupt stream)", n, maxFrame)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(c, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// encodeFetch renders an mFetch payload: fetch up to n bytes at off.
+func encodeFetch(off int64, n int) []byte {
+	buf := make([]byte, 12)
+	binary.BigEndian.PutUint64(buf, uint64(off))
+	binary.BigEndian.PutUint32(buf[8:], uint32(n))
+	return buf
+}
+
+// decodeFetch parses an mFetch payload.
+func decodeFetch(p []byte) (off int64, n int, err error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("remotework: fetch payload is %d bytes, want 12", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p)), int(binary.BigEndian.Uint32(p[8:])), nil
+}
+
+// encodeChunk renders an mChunk payload: data at off with its CRC.
+func encodeChunk(off int64, crc uint32, data []byte) []byte {
+	buf := make([]byte, 12+len(data))
+	binary.BigEndian.PutUint64(buf, uint64(off))
+	binary.BigEndian.PutUint32(buf[8:], crc)
+	copy(buf[12:], data)
+	return buf
+}
+
+// decodeChunk parses an mChunk payload.
+func decodeChunk(p []byte) (off int64, crc uint32, data []byte, err error) {
+	if len(p) < 12 {
+		return 0, 0, nil, fmt.Errorf("remotework: chunk payload is %d bytes, want >= 12", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p)), binary.BigEndian.Uint32(p[8:]), p[12:], nil
+}
